@@ -1,0 +1,50 @@
+"""Ablation: join algorithm choice in the deterministic substrate.
+
+The plan comparisons of Figs. 9-12 rest on the substrate's joins behaving like
+a conventional engine's.  This ablation compares the hash, sort-merge, and
+nested-loop implementations on the customer ⋈ orders ⋈ lineitem join used by
+queries 3/18 so that regressions in the substrate are visible next to the
+higher-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.joins import HashJoinOp, MergeJoinOp, NestedLoopJoinOp
+from repro.algebra.operators import ScanOp
+
+from conftest import SCALE_FACTOR, run_benchmark
+
+JOIN_CLASSES = {"hash": HashJoinOp, "merge": MergeJoinOp, "nested_loop": NestedLoopJoinOp}
+
+
+@pytest.mark.parametrize("algorithm", ["hash", "merge", "nested_loop"])
+def test_customer_orders_join(benchmark, tpch_db, algorithm):
+    join_class = JOIN_CLASSES[algorithm]
+    customer = tpch_db.relation("customer")
+    orders = tpch_db.relation("orders")
+
+    def run():
+        join = join_class(ScanOp(customer), ScanOp(orders), on=["custkey"])
+        return sum(1 for _ in join)
+
+    rows = run_benchmark(benchmark, run)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["output_rows"] = rows
+    benchmark.extra_info["scale_factor"] = SCALE_FACTOR
+
+
+@pytest.mark.parametrize("algorithm", ["hash", "merge"])
+def test_orders_lineitem_join(benchmark, tpch_db, algorithm):
+    join_class = JOIN_CLASSES[algorithm]
+    orders = tpch_db.relation("orders")
+    lineitem = tpch_db.relation("lineitem")
+
+    def run():
+        join = join_class(ScanOp(orders), ScanOp(lineitem), on=["orderkey"])
+        return sum(1 for _ in join)
+
+    rows = run_benchmark(benchmark, run)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["output_rows"] = rows

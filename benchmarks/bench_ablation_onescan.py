@@ -1,0 +1,55 @@
+"""Ablation: the scan-based operator versus the literal GRP-sequence semantics.
+
+Not a figure of the paper, but the design choice Section V.C motivates: the
+semantics of the operator (Fig. 5) suggests one independent aggregation pass
+per signature star, whereas the implementation groups them into as few scans
+as the signature allows.  This ablation measures both on the same materialised
+answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sprout.conf_operator import apply_semantics
+from repro.sprout.onescan import sort_column_order
+from repro.sprout.planner import build_answer_plan, project_answer_columns
+from repro.sprout.scans import apply_scan_schedule
+from repro.tpch import tpch_query
+
+from conftest import run_benchmark
+
+KEYS = ["3", "18", "B17", "10"]
+
+
+@pytest.fixture(scope="module")
+def sorted_answers(tpch_db, engine):
+    answers = {}
+    for key in KEYS:
+        query = tpch_query(key).query
+        order = engine.planner.lazy_join_order(query)
+        plan = project_answer_columns(build_answer_plan(tpch_db, query, order), query)
+        answer = plan.to_relation(query.name)
+        signature = engine.signature_for(query)
+        answer = answer.sorted_by(sort_column_order(answer.schema, signature))
+        answers[key] = (signature, answer)
+    return answers
+
+
+@pytest.mark.parametrize("key", KEYS)
+@pytest.mark.parametrize("method", ["scans", "semantics"])
+def test_conf_method_ablation(benchmark, sorted_answers, key, method):
+    signature, answer = sorted_answers[key]
+
+    if method == "scans":
+        result = run_benchmark(benchmark, apply_scan_schedule, answer, signature, presorted=True)
+        distinct = len(result[0])
+    else:
+        result = run_benchmark(benchmark, apply_semantics, answer, signature)
+        distinct = len(result.relation)
+
+    benchmark.extra_info["query"] = key
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["signature"] = str(signature)
+    benchmark.extra_info["answer_rows"] = len(answer)
+    benchmark.extra_info["distinct_tuples"] = distinct

@@ -1,0 +1,46 @@
+"""Fig. 11: the rendez-vous of eager and lazy plans under varying selectivity.
+
+Queries A and B of the paper are run while sweeping the selectivity of their
+constant selections from roughly 0.1 to 0.9.  The paper's finding: lazy plans
+win for small selectivities (few duplicates reach the final projection), eager
+plans win once the selections become unselective and duplicates multiply
+through the joins; the two curves cross in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpch import query_A, query_B
+
+from conftest import run_benchmark
+
+#: Selection constants chosen to cover low / medium / high selectivity on the
+#: generated data (supplier account balances are uniform in [-1000, 10000),
+#: order total prices uniform in [850, 500000)).
+ACCTBAL_THRESHOLDS = {0.1: 100.0, 0.3: 2300.0, 0.5: 4500.0, 0.7: 6700.0, 0.9: 8900.0}
+PRICE_THRESHOLDS = {0.1: 50_000.0, 0.3: 150_000.0, 0.5: 250_000.0, 0.7: 350_000.0, 0.9: 450_000.0}
+
+
+@pytest.mark.parametrize("selectivity", sorted(ACCTBAL_THRESHOLDS))
+@pytest.mark.parametrize("plan", ["lazy", "eager"])
+def test_fig11_query_A(benchmark, engine, selectivity, plan):
+    query = query_A(ACCTBAL_THRESHOLDS[selectivity])
+    result = run_benchmark(benchmark, engine.evaluate, query, plan=plan)
+    benchmark.extra_info["query"] = "A"
+    benchmark.extra_info["plan"] = plan
+    benchmark.extra_info["selectivity"] = selectivity
+    benchmark.extra_info["answer_rows"] = result.answer_rows
+    benchmark.extra_info["distinct_tuples"] = result.distinct_tuples
+
+
+@pytest.mark.parametrize("selectivity", sorted(PRICE_THRESHOLDS))
+@pytest.mark.parametrize("plan", ["lazy", "eager"])
+def test_fig11_query_B(benchmark, engine, selectivity, plan):
+    query = query_B(PRICE_THRESHOLDS[selectivity])
+    result = run_benchmark(benchmark, engine.evaluate, query, plan=plan)
+    benchmark.extra_info["query"] = "B"
+    benchmark.extra_info["plan"] = plan
+    benchmark.extra_info["selectivity"] = selectivity
+    benchmark.extra_info["answer_rows"] = result.answer_rows
+    benchmark.extra_info["distinct_tuples"] = result.distinct_tuples

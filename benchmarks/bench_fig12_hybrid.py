@@ -1,0 +1,39 @@
+"""Fig. 12: hybrid plans versus the eager and lazy extremes.
+
+The paper reports (scale factor 1, seconds):
+
+    query   eager   lazy   hybrid   eager/hybrid   lazy/hybrid
+    C       71.10   5.22     4.02          17.69           1.3
+    D        1.16   0.78     0.52           2.23           1.5
+
+Hybrid plans avoid the eager aggregation of the large tables (lineitem,
+partsupp) but still aggregate intermediate join results before the final join,
+beating both extremes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tpch import query_C, query_D
+
+from conftest import run_benchmark
+
+PAPER_SECONDS = {
+    "C": {"eager": 71.10, "lazy": 5.22, "hybrid": 4.02},
+    "D": {"eager": 1.16, "lazy": 0.78, "hybrid": 0.52},
+}
+
+QUERIES = {"C": query_C, "D": query_D}
+
+
+@pytest.mark.parametrize("name", ["C", "D"])
+@pytest.mark.parametrize("plan", ["eager", "lazy", "hybrid"])
+def test_fig12_plans(benchmark, engine, name, plan):
+    query = QUERIES[name]()
+    result = run_benchmark(benchmark, engine.evaluate, query, plan=plan)
+    benchmark.extra_info["query"] = name
+    benchmark.extra_info["plan"] = plan
+    benchmark.extra_info["distinct_tuples"] = result.distinct_tuples
+    benchmark.extra_info["rows_processed"] = result.rows_processed
+    benchmark.extra_info["paper_seconds_sf1"] = PAPER_SECONDS[name][plan]

@@ -1,0 +1,133 @@
+"""Data cleaning with a probabilistic database.
+
+The Introduction motivates probabilistic databases with data cleaning and
+integration.  This example models a typical deduplication pipeline: an entity
+matcher has linked dirty CRM records to a master customer registry, attaching
+a *match probability* to every candidate link, and a geocoder has attached
+probabilities to conflicting address records.  Both tables are
+tuple-independent; queries on top compute, for example, the probability that a
+given master customer generated revenue in a given city.
+
+Run with:  python examples/data_cleaning.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import Atom, ConjunctiveQuery, ProbabilisticDatabase, SproutEngine
+from repro.algebra import Comparison
+from repro.storage import Relation, Schema
+
+
+def build_database() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase("crm-cleaning")
+
+    # Candidate links produced by an entity matcher: (dirty record, master id)
+    # with the matcher's confidence.  Each link is an independent event.
+    links = Relation(
+        "link",
+        Schema.of("record_id:int", "customer_id:int"),
+        [
+            (101, 1), (102, 1), (103, 2), (104, 2), (105, 2),
+            (106, 3), (107, 3), (108, 4), (109, 4), (110, 5),
+        ],
+    )
+    db.add_table(
+        links,
+        probabilities=[0.95, 0.40, 0.85, 0.30, 0.70, 0.90, 0.20, 0.60, 0.75, 0.99],
+        primary_key=["record_id"],
+    )
+
+    # Geocoded addresses of the dirty records; conflicting cities for the same
+    # record carry probabilities from the geocoder.
+    addresses = Relation(
+        "address",
+        Schema.of("record_id:int", "city:str"),
+        [
+            (101, "Oxford"), (102, "Oxford"), (103, "Leeds"), (104, "Leeds"),
+            (105, "York"), (106, "Oxford"), (107, "Leeds"), (108, "York"),
+            (109, "York"), (110, "Oxford"),
+        ],
+    )
+    db.add_table(
+        addresses,
+        probabilities=[0.9, 0.6, 0.8, 0.5, 0.7, 0.95, 0.45, 0.85, 0.65, 0.9],
+        primary_key=["record_id", "city"],
+    )
+
+    # Transactions recorded against the dirty records (amounts in pounds);
+    # a fraud screen marked each with the probability of being genuine.
+    transactions = Relation(
+        "txn",
+        Schema.of("txn_id:int", "record_id:int", "amount:float"),
+        [
+            (1, 101, 120.0), (2, 102, 80.0), (3, 103, 300.0), (4, 104, 40.0),
+            (5, 105, 250.0), (6, 106, 15.0), (7, 107, 99.0), (8, 108, 400.0),
+            (9, 109, 35.0), (10, 110, 60.0),
+        ],
+    )
+    db.add_table(
+        transactions,
+        probabilities=[0.99, 0.98, 0.80, 0.95, 0.75, 0.99, 0.90, 0.65, 0.97, 0.99],
+        primary_key=["txn_id"],
+    )
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    engine = SproutEngine(db)
+
+    # Which master customers have, with what probability, at least one genuine
+    # transaction above £100 — taking the uncertain record links into account?
+    big_spenders = ConjunctiveQuery(
+        "big-spenders",
+        [
+            Atom("link", ["record_id", "customer_id"]),
+            Atom("txn", ["txn_id", "record_id", "amount"]),
+        ],
+        projection=["customer_id"],
+        selections=Comparison("amount", ">", 100.0),
+    )
+    result = engine.evaluate(big_spenders)
+    print("P[customer has a genuine transaction > £100]:")
+    print(result.relation.sorted_by(["customer_id"]).pretty())
+    print()
+
+    # In which cities does customer 2 plausibly appear (links ⋈ addresses)?
+    cities = ConjunctiveQuery(
+        "customer-cities",
+        [
+            Atom("link", ["record_id", "customer_id"]),
+            Atom("address", ["record_id", "city"]),
+        ],
+        projection=["customer_id", "city"],
+        selections=Comparison("customer_id", "=", 2),
+    )
+    result = engine.evaluate(cities)
+    print("P[customer 2 has a record in city]:")
+    print(result.relation.sorted_by(["city"]).pretty())
+    print()
+
+    # A Boolean audit question: is there any genuine transaction above £100
+    # whose record links to a customer located in Oxford?
+    audit = ConjunctiveQuery(
+        "oxford-audit",
+        [
+            Atom("link", ["record_id", "customer_id"]),
+            Atom("address", ["record_id", "city"]),
+            Atom("txn", ["txn_id", "record_id", "amount"]),
+        ],
+        selections=Comparison("city", "=", "Oxford") & Comparison("amount", ">", 100.0),
+    )
+    print("signature of the audit query:", engine.signature_for(audit))
+    confidence = engine.evaluate(audit).boolean_confidence()
+    print(f"P[some Oxford-linked record has a genuine transaction > £100] = {confidence:.4f}")
+
+
+if __name__ == "__main__":
+    main()

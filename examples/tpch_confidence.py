@@ -1,0 +1,55 @@
+"""Probabilistic TPC-H: confidence computation at benchmark scale.
+
+Generates a scaled-down tuple-independent TPC-H database, reports the
+Section VI case-study classification, and runs a handful of the paper's
+queries with lazy, eager, and MystiQ-style plans, printing wall-clock times
+and answer sizes (a miniature of Fig. 9).
+
+Run with:  python examples/tpch_confidence.py [scale_factor]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.errors import NumericalError, UnsafePlanError
+from repro.safeplans import MystiqEngine
+from repro.sprout import SproutEngine
+from repro.tpch import case_study_table, probabilistic_tpch, tpch_query
+
+
+def main(scale_factor: float = 0.001) -> None:
+    print(f"generating probabilistic TPC-H at scale factor {scale_factor} ...")
+    db = probabilistic_tpch(scale_factor=scale_factor)
+    print({name: len(db.relation(name)) for name in db.table_names()})
+    print()
+
+    print("Section VI case study (hierarchical / FD-tractable classification):")
+    print(case_study_table())
+    print()
+
+    engine = SproutEngine(db)
+    mystiq = MystiqEngine(db, use_log_aggregation=True)
+
+    print(f"{'query':>6} {'plan':>8} {'time[s]':>9} {'tuples':>7} {'rows':>7}  signature")
+    for key in ("3", "18", "B17", "10", "7", "2"):
+        query = tpch_query(key).query
+        for plan in ("lazy", "eager"):
+            result = engine.evaluate(query, plan=plan)
+            print(
+                f"{key:>6} {plan:>8} {result.total_seconds:>9.3f} "
+                f"{result.distinct_tuples:>7} {result.answer_rows:>7}  {result.signature}"
+            )
+        try:
+            safe = mystiq.evaluate(query)
+            print(f"{key:>6} {'mystiq':>8} {safe.total_seconds:>9.3f} {safe.distinct_tuples:>7}")
+        except (UnsafePlanError, NumericalError) as error:
+            print(f"{key:>6} {'mystiq':>8} {'—':>9}  ({type(error).__name__})")
+        print()
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.001)

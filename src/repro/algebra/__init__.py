@@ -1,0 +1,80 @@
+"""Relational algebra substrate: iterator-model operators and plan utilities."""
+
+from repro.algebra.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    AggregateSpec,
+    GroupByOp,
+    mystiq_log_prob_or,
+    prob_or,
+)
+from repro.algebra.expressions import (
+    AttributeComparison,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Negation,
+    Predicate,
+    TruePredicate,
+    conjunction_of,
+)
+from repro.algebra.joins import (
+    HashJoinOp,
+    JoinOp,
+    MergeJoinOp,
+    NestedLoopJoinOp,
+    natural_join_attributes,
+)
+from repro.algebra.operators import (
+    MaterializedOp,
+    Operator,
+    ProjectOp,
+    RenameOp,
+    ScanOp,
+    SelectOp,
+)
+from repro.algebra.plan import ExecutionResult, count_operators, execute, explain, walk
+from repro.algebra.sort import DistinctOp, SortOp
+from repro.algebra.stats import (
+    StatisticsCatalog,
+    TableStatistics,
+    estimate_join_size,
+    estimate_selectivity,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AggregateSpec",
+    "AttributeComparison",
+    "Comparison",
+    "Conjunction",
+    "Disjunction",
+    "DistinctOp",
+    "ExecutionResult",
+    "GroupByOp",
+    "HashJoinOp",
+    "JoinOp",
+    "MaterializedOp",
+    "MergeJoinOp",
+    "Negation",
+    "NestedLoopJoinOp",
+    "Operator",
+    "Predicate",
+    "ProjectOp",
+    "RenameOp",
+    "ScanOp",
+    "SelectOp",
+    "SortOp",
+    "StatisticsCatalog",
+    "TableStatistics",
+    "TruePredicate",
+    "conjunction_of",
+    "count_operators",
+    "estimate_join_size",
+    "estimate_selectivity",
+    "execute",
+    "explain",
+    "mystiq_log_prob_or",
+    "natural_join_attributes",
+    "prob_or",
+    "walk",
+]

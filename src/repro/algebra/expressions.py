@@ -1,0 +1,280 @@
+"""Scalar predicate expressions used by selections and joins.
+
+The query class considered in the paper restricts selection conditions to
+conjunctions of atomic comparisons between attributes and constants, and join
+conditions to attribute equalities.  The expression classes here cover exactly
+that (plus disjunction/negation, used by the self-join partition rewrite of
+Section IV and by TPC-H query 19's mutually exclusive branches).
+
+Expressions evaluate either on a row dictionary (``evaluate``) or, bound
+against a schema, as a fast positional callable (``bind``).
+"""
+
+from __future__ import annotations
+
+import abc
+import operator
+from typing import Callable, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.storage.schema import Schema
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "Comparison",
+    "AttributeComparison",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "conjunction_of",
+]
+
+_OPERATORS = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_CANONICAL_OP = {"==": "=", "<>": "!="}
+
+
+def _op_function(op: str):
+    try:
+        return _OPERATORS[op]
+    except KeyError:
+        raise QueryError(f"unknown comparison operator {op!r}") from None
+
+
+class Predicate(abc.ABC):
+    """Boolean expression over one row."""
+
+    @abc.abstractmethod
+    def evaluate(self, row: dict) -> bool:
+        """Evaluate against a row given as an attribute-name dictionary."""
+
+    @abc.abstractmethod
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], bool]:
+        """Compile to a callable over positional rows of ``schema``."""
+
+    @abc.abstractmethod
+    def attributes(self) -> FrozenSet[str]:
+        """Attribute names referenced by this predicate."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return conjunction_of([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Disjunction([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return Negation(self)
+
+
+class TruePredicate(Predicate):
+    """The always-true predicate (empty selection condition)."""
+
+    def evaluate(self, row: dict) -> bool:
+        return True
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], bool]:
+        return lambda row: True
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self) -> int:
+        return hash("TruePredicate")
+
+
+class Comparison(Predicate):
+    """``attribute op constant`` — the unary predicates of the paper's σφ."""
+
+    def __init__(self, attribute: str, op: str, value: object):
+        self.attribute = attribute
+        self.op = _CANONICAL_OP.get(op, op)
+        self.value = value
+        self._fn = _op_function(op)
+
+    def evaluate(self, row: dict) -> bool:
+        actual = row.get(self.attribute)
+        if actual is None:
+            return False
+        return self._fn(actual, self.value)
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], bool]:
+        index = schema.index_of(self.attribute)
+        fn, value = self._fn, self.value
+        return lambda row: row[index] is not None and fn(row[index], value)
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.attribute!r}, {self.op!r}, {self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and (self.attribute, self.op, self.value)
+            == (other.attribute, other.op, other.value)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attribute, self.op, self.value))
+
+
+class AttributeComparison(Predicate):
+    """``left_attribute op right_attribute`` — used for theta-join conditions."""
+
+    def __init__(self, left: str, op: str, right: str):
+        self.left = left
+        self.op = _CANONICAL_OP.get(op, op)
+        self.right = right
+        self._fn = _op_function(op)
+
+    def evaluate(self, row: dict) -> bool:
+        left, right = row.get(self.left), row.get(self.right)
+        if left is None or right is None:
+            return False
+        return self._fn(left, right)
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], bool]:
+        left_index = schema.index_of(self.left)
+        right_index = schema.index_of(self.right)
+        fn = self._fn
+        return lambda row: (
+            row[left_index] is not None
+            and row[right_index] is not None
+            and fn(row[left_index], row[right_index])
+        )
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AttributeComparison)
+            and (self.left, self.op, self.right) == (other.left, other.op, other.right)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.op, self.right, "attr"))
+
+
+class _Compound(Predicate):
+    """Shared behaviour of conjunctions and disjunctions."""
+
+    combiner = all  # overridden
+
+    def __init__(self, parts: Iterable[Predicate]):
+        self.parts: List[Predicate] = list(parts)
+
+    def evaluate(self, row: dict) -> bool:
+        return type(self).combiner(part.evaluate(row) for part in self.parts)
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], bool]:
+        bound = [part.bind(schema) for part in self.parts]
+        combiner = type(self).combiner
+        return lambda row: combiner(fn(row) for fn in bound)
+
+    def attributes(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.attributes()
+        return result
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(str(p) for p in self.parts)))
+
+
+class Conjunction(_Compound):
+    """Logical AND of predicates."""
+
+    combiner = all
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "true"
+        return " AND ".join(f"({part})" for part in self.parts)
+
+
+class Disjunction(_Compound):
+    """Logical OR of predicates."""
+
+    combiner = any
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "false"
+        return " OR ".join(f"({part})" for part in self.parts)
+
+    def evaluate(self, row: dict) -> bool:
+        return any(part.evaluate(row) for part in self.parts)
+
+
+class Negation(Predicate):
+    """Logical NOT of a predicate."""
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def evaluate(self, row: dict) -> bool:
+        return not self.part.evaluate(row)
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], bool]:
+        bound = self.part.bind(schema)
+        return lambda row: not bound(row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.part.attributes()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.part})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Negation) and self.part == other.part
+
+    def __hash__(self) -> int:
+        return hash(("not", str(self.part)))
+
+
+def conjunction_of(parts: Sequence[Predicate]) -> Predicate:
+    """Build the flattest possible conjunction of ``parts``.
+
+    Empty input yields :class:`TruePredicate`; a single part is returned as-is;
+    nested conjunctions and TruePredicates are flattened away.
+    """
+    flattened: List[Predicate] = []
+    for part in parts:
+        if isinstance(part, TruePredicate):
+            continue
+        if isinstance(part, Conjunction):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    if not flattened:
+        return TruePredicate()
+    if len(flattened) == 1:
+        return flattened[0]
+    return Conjunction(flattened)

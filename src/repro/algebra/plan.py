@@ -1,0 +1,53 @@
+"""Plan-level utilities: execution, explanation, and traversal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterator, List, Optional
+
+from repro.algebra.operators import Operator
+from repro.storage.relation import Relation
+
+__all__ = ["ExecutionResult", "execute", "explain", "walk", "count_operators"]
+
+
+@dataclass
+class ExecutionResult:
+    """A materialised plan result together with simple execution metrics."""
+
+    relation: Relation
+    wall_clock_seconds: float
+    rows_processed: int
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+
+def execute(plan: Operator, name: str = "result") -> ExecutionResult:
+    """Run ``plan`` to completion, materialising its output."""
+    started = perf_counter()
+    relation = plan.to_relation(name)
+    elapsed = perf_counter() - started
+    return ExecutionResult(
+        relation=relation,
+        wall_clock_seconds=elapsed,
+        rows_processed=plan.total_rows_processed(),
+    )
+
+
+def explain(plan: Operator) -> str:
+    """Render a plan as an indented operator tree."""
+    return plan.explain()
+
+
+def walk(plan: Operator) -> Iterator[Operator]:
+    """Pre-order traversal of the operator tree."""
+    yield plan
+    for child in plan.children:
+        yield from walk(child)
+
+
+def count_operators(plan: Operator, predicate: Optional[Callable[[Operator], bool]] = None) -> int:
+    """Number of operators in the plan (optionally only those matching ``predicate``)."""
+    return sum(1 for op in walk(plan) if predicate is None or predicate(op))

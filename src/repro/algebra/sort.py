@@ -1,0 +1,79 @@
+"""Sorting and duplicate-elimination operators."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.algebra.operators import Operator, Row
+from repro.storage.external_sort import SortStats, external_sort
+from repro.storage.schema import Schema
+
+__all__ = ["SortOp", "DistinctOp"]
+
+
+class SortOp(Operator):
+    """Sort the child's output by the given columns.
+
+    Small inputs are sorted in memory; larger inputs spill sorted runs to disk
+    via :func:`repro.storage.external_sort.external_sort`, mirroring the
+    secondary-storage sort that precedes the confidence operator in SPROUT.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        by: Sequence[str],
+        max_rows_in_memory: int = 100_000,
+    ):
+        super().__init__()
+        self.child = child
+        self.by = list(by)
+        self.max_rows_in_memory = max_rows_in_memory
+        self.sort_stats = SortStats()
+        self._key_indices = child.schema.indices_of(self.by)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def _execute(self) -> Iterator[Row]:
+        self.sort_stats = SortStats()
+        yield from external_sort(
+            self.child,
+            self._key_indices,
+            max_rows_in_memory=self.max_rows_in_memory,
+            stats=self.sort_stats,
+        )
+
+    def label(self) -> str:
+        return f"Sort({', '.join(self.by)})"
+
+
+class DistinctOp(Operator):
+    """Remove duplicate rows (hash-based, preserves first-seen order)."""
+
+    def __init__(self, child: Operator):
+        super().__init__()
+        self.child = child
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> List[Operator]:
+        return [self.child]
+
+    def _execute(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child:
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def label(self) -> str:
+        return "Distinct"

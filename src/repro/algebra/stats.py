@@ -1,0 +1,168 @@
+"""Table statistics and selectivity estimation for the planner.
+
+SPROUT delegates join ordering to the host engine's cost-based optimizer
+(Section V.B: "Cost-based decisions can be made using the host relational
+database engine").  Our substrate plays that role with textbook System-R style
+estimates: per-table row counts, per-column distinct counts, and the usual
+selectivity formulas for equality/range predicates and equi-joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.algebra.expressions import (
+    AttributeComparison,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Negation,
+    Predicate,
+    TruePredicate,
+)
+from repro.storage.relation import Relation
+
+__all__ = ["TableStatistics", "StatisticsCatalog", "estimate_selectivity", "estimate_join_size"]
+
+#: Fallback selectivities when no statistics are available (System-R defaults).
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 0.3
+
+
+@dataclass
+class TableStatistics:
+    """Row count and per-column distinct-value counts of one table."""
+
+    table: str
+    row_count: int
+    distinct_counts: Dict[str, int] = field(default_factory=dict)
+    min_values: Dict[str, object] = field(default_factory=dict)
+    max_values: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "TableStatistics":
+        """Collect statistics by a single scan of ``relation``."""
+        distinct: Dict[str, set] = {name: set() for name in relation.schema.names}
+        minimums: Dict[str, object] = {}
+        maximums: Dict[str, object] = {}
+        for row in relation:
+            for name, value in zip(relation.schema.names, row):
+                if value is None:
+                    continue
+                distinct[name].add(value)
+                try:
+                    if name not in minimums or value < minimums[name]:
+                        minimums[name] = value
+                    if name not in maximums or value > maximums[name]:
+                        maximums[name] = value
+                except TypeError:
+                    pass
+        return cls(
+            table=relation.name,
+            row_count=len(relation),
+            distinct_counts={name: len(values) for name, values in distinct.items()},
+            min_values=minimums,
+            max_values=maximums,
+        )
+
+    def distinct(self, attribute: str) -> int:
+        """Distinct-value count of ``attribute`` (at least 1)."""
+        return max(1, self.distinct_counts.get(attribute, max(1, self.row_count)))
+
+
+class StatisticsCatalog:
+    """Statistics for a set of tables, computed lazily from their relations."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, TableStatistics] = {}
+
+    def register(self, relation: Relation, name: Optional[str] = None) -> TableStatistics:
+        stats = TableStatistics.from_relation(relation)
+        stats.table = name or relation.name
+        self._stats[stats.table] = stats
+        return stats
+
+    def get(self, table: str) -> Optional[TableStatistics]:
+        return self._stats.get(table)
+
+    def row_count(self, table: str, default: int = 1000) -> int:
+        stats = self._stats.get(table)
+        return stats.row_count if stats is not None else default
+
+
+def estimate_selectivity(predicate: Predicate, stats: Optional[TableStatistics]) -> float:
+    """Estimate the fraction of rows satisfying ``predicate``."""
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, Conjunction):
+        result = 1.0
+        for part in predicate.parts:
+            result *= estimate_selectivity(part, stats)
+        return result
+    if isinstance(predicate, Disjunction):
+        result = 1.0
+        for part in predicate.parts:
+            result *= 1.0 - estimate_selectivity(part, stats)
+        return 1.0 - result
+    if isinstance(predicate, Negation):
+        return max(0.0, 1.0 - estimate_selectivity(predicate.part, stats))
+    if isinstance(predicate, Comparison):
+        if predicate.op in ("=",):
+            if stats is not None:
+                return 1.0 / stats.distinct(predicate.attribute)
+            return DEFAULT_EQUALITY_SELECTIVITY
+        if predicate.op in ("!=",):
+            if stats is not None:
+                return 1.0 - 1.0 / stats.distinct(predicate.attribute)
+            return 1.0 - DEFAULT_EQUALITY_SELECTIVITY
+        return _range_selectivity(predicate, stats)
+    if isinstance(predicate, AttributeComparison):
+        if predicate.op == "=" and stats is not None:
+            distinct = max(stats.distinct(predicate.left), stats.distinct(predicate.right))
+            return 1.0 / distinct
+        return DEFAULT_RANGE_SELECTIVITY
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _range_selectivity(predicate: Comparison, stats: Optional[TableStatistics]) -> float:
+    """Interpolate selectivity of a range predicate from min/max statistics."""
+    if stats is None:
+        return DEFAULT_RANGE_SELECTIVITY
+    low = stats.min_values.get(predicate.attribute)
+    high = stats.max_values.get(predicate.attribute)
+    value = predicate.value
+    if (
+        low is None
+        or high is None
+        or not isinstance(value, (int, float))
+        or not isinstance(low, (int, float))
+        or not isinstance(high, (int, float))
+        or high <= low
+    ):
+        return DEFAULT_RANGE_SELECTIVITY
+    fraction = (value - low) / (high - low)
+    fraction = min(1.0, max(0.0, fraction))
+    if predicate.op in ("<", "<="):
+        return fraction
+    if predicate.op in (">", ">="):
+        return 1.0 - fraction
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def estimate_join_size(
+    left_rows: float,
+    right_rows: float,
+    left_stats: Optional[TableStatistics],
+    right_stats: Optional[TableStatistics],
+    join_attributes: Sequence[str],
+) -> float:
+    """Estimate the cardinality of an equi-join using distinct-value counts."""
+    if not join_attributes:
+        return left_rows * right_rows
+    size = left_rows * right_rows
+    for attribute in join_attributes:
+        left_distinct = left_stats.distinct(attribute) if left_stats else 10
+        right_distinct = right_stats.distinct(attribute) if right_stats else 10
+        size /= max(left_distinct, right_distinct, 1)
+    return max(size, 1.0)

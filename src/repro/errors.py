@@ -1,0 +1,60 @@
+"""Exception hierarchy for the SPROUT reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  The subclasses mirror the main subsystems:
+schema/storage problems, query-model problems (malformed or unsupported
+queries), planning problems (no valid plan of the requested kind), and
+probability-computation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed schemas, unknown attributes, or arity mismatches."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage layer (heap files, external sort, catalog)."""
+
+
+class CatalogError(StorageError):
+    """Raised when a table, key, or functional dependency lookup fails."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed conjunctive queries or parse errors."""
+
+
+class UnsupportedQueryError(QueryError):
+    """Raised when a query falls outside the supported class.
+
+    Examples: self-joins that cannot be partitioned into mutually exclusive
+    branches, or non-hierarchical queries without a hierarchical FD-reduct
+    handed to an exact evaluator that requires tractability.
+    """
+
+
+class NonHierarchicalQueryError(UnsupportedQueryError):
+    """Raised when a hierarchical query (or FD-reduct) is required but absent."""
+
+
+class PlanningError(ReproError):
+    """Raised when a requested plan (safe, eager, hybrid, ...) cannot be built."""
+
+
+class UnsafePlanError(PlanningError):
+    """Raised when a safe plan is requested for a query that admits none."""
+
+
+class ProbabilityError(ReproError):
+    """Raised for invalid probabilities or failed confidence computations."""
+
+
+class NumericalError(ProbabilityError):
+    """Raised when a numerically fragile method (e.g. MystiQ's log-sum trick)
+    fails at runtime, mirroring the runtime errors reported in Section VII."""

@@ -1,0 +1,48 @@
+"""Probabilistic data model: variables, formulas, tables, worlds, lineage."""
+
+from repro.prob.formulas import (
+    DNF,
+    And,
+    Bottom,
+    Formula,
+    Or,
+    Top,
+    Var,
+    dnf_probability,
+    dnf_probability_enumeration,
+    is_read_once,
+)
+from repro.prob.lineage import (
+    confidences_from_lineage,
+    lineage_by_tuple,
+    probabilities_from_answer,
+    split_answer_columns,
+)
+from repro.prob.pdb import PossibleWorld, ProbabilisticDatabase
+from repro.prob.ptable import ProbabilisticTable, make_tuple_independent
+from repro.prob.variables import VariableInfo, VariableRegistry
+from repro.prob.worlds import confidences_by_enumeration
+
+__all__ = [
+    "And",
+    "Bottom",
+    "DNF",
+    "Formula",
+    "Or",
+    "PossibleWorld",
+    "ProbabilisticDatabase",
+    "ProbabilisticTable",
+    "Top",
+    "Var",
+    "VariableInfo",
+    "VariableRegistry",
+    "confidences_by_enumeration",
+    "confidences_from_lineage",
+    "dnf_probability",
+    "dnf_probability_enumeration",
+    "is_read_once",
+    "lineage_by_tuple",
+    "make_tuple_independent",
+    "probabilities_from_answer",
+    "split_answer_columns",
+]

@@ -1,0 +1,139 @@
+"""Tuple-independent probabilistic tables.
+
+A probabilistic table ``R^rep`` has schema ``(A, V, P)`` with the functional
+dependency ``A -> V P``: every data tuple is annotated with a distinct Boolean
+random variable (column ``V``) and the probability of that variable being true
+(column ``P``).  This module converts ordinary relations into that
+representation, allocating fresh variables from a :class:`VariableRegistry`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ProbabilityError, SchemaError
+from repro.prob.variables import VariableRegistry, validate_probability
+from repro.storage.relation import Relation
+from repro.storage.schema import Attribute, ColumnRole, Schema, prob_column_name, var_column_name
+
+__all__ = ["ProbabilisticTable", "make_tuple_independent"]
+
+ProbabilitySpec = Union[float, Sequence[float], Callable[[int, tuple], float], None]
+
+
+class ProbabilisticTable:
+    """A tuple-independent probabilistic table: data columns plus ``V``/``P``."""
+
+    def __init__(self, source: str, relation: Relation, data_schema: Schema):
+        self.source = source
+        self.relation = relation
+        self.data_schema = data_schema
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    @property
+    def schema(self) -> Schema:
+        return self.relation.schema
+
+    @property
+    def var_column(self) -> str:
+        return var_column_name(self.source)
+
+    @property
+    def prob_column(self) -> str:
+        return prob_column_name(self.source)
+
+    def variables(self) -> List[int]:
+        """Variable ids of all tuples, in row order."""
+        return [int(v) for v in self.relation.column(self.var_column)]
+
+    def data_rows(self) -> List[tuple]:
+        """Data tuples without the V/P annotation, in row order."""
+        data_names = self.data_schema.names
+        return [tuple(row) for row in self.relation.project(list(data_names))]
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticTable({self.source!r}, {len(self)} tuples)"
+
+
+def make_tuple_independent(
+    relation: Relation,
+    registry: VariableRegistry,
+    probabilities: ProbabilitySpec = None,
+    rng: Optional[random.Random] = None,
+    source: Optional[str] = None,
+) -> ProbabilisticTable:
+    """Annotate every tuple of ``relation`` with a fresh variable and probability.
+
+    Parameters
+    ----------
+    relation:
+        Deterministic input relation (DATA columns only).
+    registry:
+        Variable registry used to allocate fresh Boolean variables.
+    probabilities:
+        Either a single probability applied to all tuples, a sequence with one
+        probability per tuple, a callable ``(row_index, row) -> probability``,
+        or ``None`` to draw probabilities uniformly from (0, 1] using ``rng``
+        (the paper "chooses at random a probability distribution over these
+        variables").
+    rng:
+        Random generator used when ``probabilities`` is None (defaults to a
+        fixed seed so that experiments are reproducible).
+    source:
+        Table name recorded as the source of the V/P pair (defaults to the
+        relation name).
+    """
+    source = source or relation.name
+    for attribute in relation.schema:
+        if attribute.role is not ColumnRole.DATA:
+            raise SchemaError(
+                f"relation {relation.name!r} already has a {attribute.role.value} column"
+            )
+    # The data model requires the functional dependency A -> V P: a probabilistic
+    # table is a *set* of data tuples, each annotated with one variable.  The
+    # signature refinement relies on this (a group that fixes all data columns
+    # contains at most one tuple), so duplicate input rows are rejected rather
+    # than silently annotated with two variables.
+    seen = set()
+    for row in relation:
+        key = tuple(row)
+        if key in seen:
+            raise ProbabilityError(
+                f"relation {relation.name!r} contains the duplicate tuple {key!r}; "
+                "tuple-independent tables are sets of tuples (schema (A, V, P) with "
+                "A -> V P) — add a distinguishing column if both copies are needed"
+            )
+        seen.add(key)
+    rng = rng or random.Random(0)
+
+    def probability_for(index: int, row: tuple) -> float:
+        if probabilities is None:
+            return rng.uniform(0.01, 1.0)
+        if isinstance(probabilities, (int, float)) and not isinstance(probabilities, bool):
+            return float(probabilities)
+        if callable(probabilities):
+            return probabilities(index, row)
+        try:
+            return float(probabilities[index])
+        except (IndexError, TypeError) as exc:
+            raise ProbabilityError(
+                f"probability spec does not cover row {index} of {relation.name!r}"
+            ) from exc
+
+    data_schema = Schema(a.with_source(source) if a.source is None else a for a in relation.schema)
+    schema = Schema(
+        tuple(data_schema.attributes)
+        + (
+            Attribute(var_column_name(source), "int", ColumnRole.VAR, source=source),
+            Attribute(prob_column_name(source), "float", ColumnRole.PROB, source=source),
+        )
+    )
+    output = Relation(source, schema)
+    for index, row in enumerate(relation):
+        probability = validate_probability(probability_for(index, row))
+        variable = registry.fresh(source, probability)
+        output.append(tuple(row) + (variable, probability))
+    return ProbabilisticTable(source, output, data_schema)

@@ -1,0 +1,100 @@
+"""Boolean random variables of a tuple-independent probabilistic database.
+
+Every tuple of a probabilistic table is annotated with a distinct Boolean
+random variable (Section II-A).  Variables are represented by integer
+identifiers — the paper notes that "variables ... can be represented as
+integers", and the one-scan operator exploits this by picking the minimal id
+as the representative of an aggregated partition.
+
+A :class:`VariableRegistry` allocates identifiers and records, for each
+variable, the table it annotates and its marginal probability.  The registry
+is the ground truth used by the brute-force baselines (possible-worlds
+enumeration, Shannon expansion); the query engine itself only ever touches the
+``V``/``P`` columns copied through query plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ProbabilityError
+
+__all__ = ["VariableInfo", "VariableRegistry"]
+
+
+@dataclass(frozen=True)
+class VariableInfo:
+    """Metadata of one Boolean random variable."""
+
+    variable: int
+    table: str
+    probability: float
+    label: Optional[str] = None
+
+    def __str__(self) -> str:
+        label = self.label or f"x{self.variable}"
+        return f"{label}[{self.table}, p={self.probability:g}]"
+
+
+def validate_probability(probability: float) -> float:
+    """Check that ``probability`` lies in (0, 1] as required by the data model."""
+    if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+        raise ProbabilityError(f"probability must be a number, got {probability!r}")
+    if not 0.0 < probability <= 1.0:
+        raise ProbabilityError(f"probability must be in (0, 1], got {probability!r}")
+    return float(probability)
+
+
+class VariableRegistry:
+    """Allocator and lookup table for Boolean random variables."""
+
+    def __init__(self) -> None:
+        self._info: Dict[int, VariableInfo] = {}
+        self._next_id = 1
+
+    def fresh(self, table: str, probability: float, label: Optional[str] = None) -> int:
+        """Allocate a new variable annotating a tuple of ``table``."""
+        probability = validate_probability(probability)
+        variable = self._next_id
+        self._next_id += 1
+        self._info[variable] = VariableInfo(variable, table, probability, label)
+        return variable
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    def __contains__(self, variable: int) -> bool:
+        return variable in self._info
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._info)
+
+    def info(self, variable: int) -> VariableInfo:
+        try:
+            return self._info[variable]
+        except KeyError:
+            raise ProbabilityError(f"unknown variable {variable!r}") from None
+
+    def probability(self, variable: int) -> float:
+        """Marginal probability of ``variable`` being true."""
+        return self.info(variable).probability
+
+    def table(self, variable: int) -> str:
+        """Name of the table whose tuple ``variable`` annotates."""
+        return self.info(variable).table
+
+    def probabilities(self) -> Dict[int, float]:
+        """Mapping variable -> probability for all registered variables."""
+        return {v: info.probability for v, info in self._info.items()}
+
+    def variables_of(self, table: str) -> List[int]:
+        """All variables annotating tuples of ``table``."""
+        return [v for v, info in self._info.items() if info.table == table]
+
+    def set_probability(self, variable: int, probability: float) -> None:
+        """Update the marginal probability of an existing variable."""
+        info = self.info(variable)
+        self._info[variable] = VariableInfo(
+            info.variable, info.table, validate_probability(probability), info.label
+        )

@@ -1,0 +1,47 @@
+"""Possible-worlds query semantics (the brute-force ground truth).
+
+``Pr[t ∈ Q(D)]`` is the total probability of the worlds whose query answer
+contains ``t`` (Section II-C).  For small databases we can evaluate a query in
+every world and sum world probabilities per answer tuple; every other
+confidence computation path in the repository is validated against this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.prob.pdb import ProbabilisticDatabase
+from repro.storage.relation import Relation
+
+__all__ = ["confidences_by_enumeration"]
+
+DataTuple = Tuple[object, ...]
+
+#: A deterministic query: maps a world instance (table name -> relation) to an
+#: answer relation over data columns only.
+DeterministicQuery = Callable[[Dict[str, Relation]], Relation]
+
+
+def confidences_by_enumeration(
+    database: ProbabilisticDatabase,
+    query: DeterministicQuery,
+    max_variables: int = 22,
+) -> Dict[DataTuple, float]:
+    """Exact confidences of all distinct answer tuples by world enumeration.
+
+    Parameters
+    ----------
+    database:
+        The probabilistic database.
+    query:
+        A function evaluating the query on one deterministic world instance.
+    max_variables:
+        Guard against exponential blow-up; raise if the database has more
+        Boolean variables than this.
+    """
+    confidences: Dict[DataTuple, float] = {}
+    for world in database.worlds(max_variables=max_variables):
+        answer = query(world.instance)
+        for data in {tuple(row) for row in answer}:
+            confidences[data] = confidences.get(data, 0.0) + world.probability
+    return confidences

@@ -1,0 +1,209 @@
+"""Hierarchical queries and their tree representations (Section II-B).
+
+A Boolean conjunctive query is *hierarchical* if for any two join attributes
+that occur in the same table, one of them participates in all joins of the
+other (Definition II.1).  Hierarchical queries admit a tree representation
+whose leaves are tables and whose inner nodes are join attributes occurring in
+all their descendants (Fig. 3); this tree drives both the signature derivation
+(Fig. 4) and the safe-plan baseline.
+
+For non-Boolean queries the attributes in the projection list are not used
+when deciding the hierarchical property (their values are fixed within a bag
+of duplicate answer tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import NonHierarchicalQueryError
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+
+__all__ = [
+    "HierarchyNode",
+    "relevant_join_attributes",
+    "is_hierarchical",
+    "build_hierarchy",
+    "witness_non_hierarchical",
+]
+
+
+def relevant_join_attributes(query: ConjunctiveQuery) -> Set[str]:
+    """Join attributes that matter for the hierarchical property.
+
+    These are the attributes occurring in at least two atoms, minus the
+    projection (head) attributes.
+    """
+    return query.join_attributes() - query.head_attributes()
+
+
+def witness_non_hierarchical(query: ConjunctiveQuery) -> Optional[Tuple[str, str, str]]:
+    """Return a witness ``(table, attribute_a, attribute_b)`` violating Definition II.1.
+
+    ``None`` means the query is hierarchical.  The witness is a table in which
+    both attributes occur although neither participates in all joins of the
+    other — the prototypical hard-query pattern of the Introduction.
+    """
+    relevant = relevant_join_attributes(query)
+    for atom in query.atoms:
+        attributes = sorted(atom.attribute_set & relevant)
+        for i, first in enumerate(attributes):
+            first_tables = {a.table for a in query.atoms_with(first)}
+            for second in attributes[i + 1 :]:
+                second_tables = {a.table for a in query.atoms_with(second)}
+                if not (first_tables <= second_tables or second_tables <= first_tables):
+                    return (atom.table, first, second)
+    return None
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Whether ``query`` is hierarchical (Definition II.1, head attributes excluded)."""
+    return witness_non_hierarchical(query) is None
+
+
+@dataclass(frozen=True)
+class HierarchyNode:
+    """A node of the tree representation of a hierarchical query.
+
+    Inner nodes carry the set of join attributes occurring in every atom below
+    them (cumulative, i.e. including the attributes of their ancestors, as in
+    Fig. 3 where the child of the ``ckey`` root is labelled ``ckey, okey``).
+    Leaves additionally carry their atom.
+    """
+
+    attributes: FrozenSet[str]
+    children: Tuple["HierarchyNode", ...] = ()
+    atom: Optional[Atom] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.atom is not None
+
+    def tables(self) -> List[str]:
+        """Tables below this node, in left-to-right (preorder) order."""
+        if self.is_leaf:
+            return [self.atom.table]
+        result: List[str] = []
+        for child in self.children:
+            result.extend(child.tables())
+        return result
+
+    def leaves(self) -> List["HierarchyNode"]:
+        if self.is_leaf:
+            return [self]
+        result: List["HierarchyNode"] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def find_leaf(self, table: str) -> Optional["HierarchyNode"]:
+        for leaf in self.leaves():
+            if leaf.atom.table == table:
+                return leaf
+        return None
+
+    def pretty(self, indent: int = 0) -> str:
+        """Indented rendering of the tree (used by explain/examples)."""
+        pad = "  " * indent
+        if self.is_leaf:
+            return f"{pad}{self.atom}"
+        label = ", ".join(sorted(self.attributes)) or "∅"
+        lines = [f"{pad}[{label}]"]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def build_hierarchy(query: ConjunctiveQuery) -> HierarchyNode:
+    """Build the tree representation of a hierarchical query.
+
+    Raises :class:`NonHierarchicalQueryError` (with a witness) if the query is
+    not hierarchical.  The construction follows the standard recursion: the
+    root collects the join attributes shared by every atom; removing them
+    splits the remaining atoms into connected components (via the remaining
+    join attributes), which become the children.
+    """
+    witness = witness_non_hierarchical(query)
+    if witness is not None:
+        table, first, second = witness
+        raise NonHierarchicalQueryError(
+            f"query {query.name!r} is not hierarchical: attributes {first!r} and "
+            f"{second!r} co-occur in {table!r} but neither joins everywhere the other does"
+        )
+    relevant = relevant_join_attributes(query)
+    return _build(list(query.atoms), frozenset(), relevant, query.name)
+
+
+def _build(
+    atoms: List[Atom],
+    inherited: FrozenSet[str],
+    relevant: Set[str],
+    query_name: str,
+) -> HierarchyNode:
+    if len(atoms) == 1:
+        return HierarchyNode(attributes=inherited, atom=atoms[0])
+
+    per_atom = {atom.table: atom.attribute_set & relevant for atom in atoms}
+    common: FrozenSet[str] = frozenset.intersection(
+        *(frozenset(attributes) for attributes in per_atom.values())
+    )
+    node_attributes = inherited | common
+
+    remaining = {
+        table: attributes - node_attributes for table, attributes in per_atom.items()
+    }
+    components = _connected_components(atoms, remaining)
+    if len(components) == 1:
+        # All atoms remain connected through attributes that are not shared by
+        # everyone — the non-hierarchical pattern.  is_hierarchical() should
+        # have caught this, so reaching here indicates an inconsistency.
+        raise NonHierarchicalQueryError(
+            f"query {query_name!r}: cannot split atoms "
+            f"{[a.table for a in atoms]} into hierarchy components"
+        )
+    children = tuple(
+        _build(component, node_attributes, relevant, query_name) for component in components
+    )
+    return HierarchyNode(attributes=node_attributes, children=children)
+
+
+def _connected_components(
+    atoms: List[Atom], remaining: Dict[str, FrozenSet[str]]
+) -> List[List[Atom]]:
+    """Group atoms connected through shared (remaining) join attributes."""
+    parent = {atom.table: atom.table for atom in atoms}
+
+    def find(table: str) -> str:
+        while parent[table] != table:
+            parent[table] = parent[parent[table]]
+            table = parent[table]
+        return table
+
+    def union(first: str, second: str) -> None:
+        root_first, root_second = find(first), find(second)
+        if root_first != root_second:
+            parent[root_first] = root_second
+
+    attribute_owner: Dict[str, str] = {}
+    for atom in atoms:
+        for attribute in remaining[atom.table]:
+            if attribute in attribute_owner:
+                union(attribute_owner[attribute], atom.table)
+            else:
+                attribute_owner[attribute] = atom.table
+
+    groups: Dict[str, List[Atom]] = {}
+    for atom in atoms:
+        groups.setdefault(find(atom.table), []).append(atom)
+    # Keep the original atom order inside and across components.
+    ordered: List[List[Atom]] = []
+    seen: Set[str] = set()
+    for atom in atoms:
+        root = find(atom.table)
+        if root not in seen:
+            seen.add(root)
+            ordered.append(groups[root])
+    return ordered

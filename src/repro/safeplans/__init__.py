@@ -1,0 +1,17 @@
+"""Safe-plan baseline: Dalvi–Suciu safe plans and a MystiQ-style evaluator."""
+
+from repro.safeplans.mystiq import MystiqEngine
+from repro.safeplans.safe_plan import (
+    SafePlanNode,
+    build_safe_plan,
+    has_safe_plan,
+    safe_plan_description,
+)
+
+__all__ = [
+    "MystiqEngine",
+    "SafePlanNode",
+    "build_safe_plan",
+    "has_safe_plan",
+    "safe_plan_description",
+]

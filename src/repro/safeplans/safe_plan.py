@@ -1,0 +1,119 @@
+"""Safe plans in the style of Dalvi and Suciu (the MystiQ baseline's planner).
+
+A *safe plan* computes answer probabilities with standard relational operators
+extended to manipulate probabilities: joins multiply probabilities and
+independent projects (``π^ind``) eliminate duplicates while aggregating their
+probabilities, which is only correct when all duplicates are pairwise
+independent.  That independence is guaranteed by restricting the join order to
+follow the hierarchical structure of the query (Fig. 2) — exactly the
+restriction SPROUT's variable-column data model removes.
+
+This module builds the safe-plan structure (for explain output, plan-shape
+tests, and the MystiQ evaluation in :mod:`repro.safeplans.mystiq`) and decides
+safety: a query admits a safe plan if and only if it is hierarchical, possibly
+after exploiting functional dependencies (Remark IV.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import UnsafePlanError
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.fd import fd_reduct
+from repro.query.hierarchy import HierarchyNode, build_hierarchy, is_hierarchical
+from repro.storage.catalog import FunctionalDependency
+
+__all__ = ["SafePlanNode", "has_safe_plan", "build_safe_plan", "safe_plan_description"]
+
+
+@dataclass(frozen=True)
+class SafePlanNode:
+    """A node of a safe plan: a base table or an independent-project over a join."""
+
+    kind: str  # "table" or "project-join"
+    table: Optional[str] = None
+    project_attributes: Tuple[str, ...] = ()
+    join_attributes: Tuple[str, ...] = ()
+    children: Tuple["SafePlanNode", ...] = ()
+
+    def tables(self) -> List[str]:
+        if self.kind == "table":
+            return [self.table]
+        result: List[str] = []
+        for child in self.children:
+            result.extend(child.tables())
+        return result
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.kind == "table":
+            return f"{pad}{self.table}"
+        head = ", ".join(self.project_attributes) or "∅"
+        join = ", ".join(self.join_attributes) or "×"
+        lines = [f"{pad}π^ind[{head}] ⋈[{join}]"]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def has_safe_plan(
+    query: ConjunctiveQuery, fds: Sequence[FunctionalDependency] = ()
+) -> bool:
+    """Whether the query admits a safe plan (hierarchical, possibly under FDs)."""
+    if is_hierarchical(query):
+        return True
+    return bool(fds) and is_hierarchical(fd_reduct(query, fds))
+
+
+def build_safe_plan(
+    query: ConjunctiveQuery, fds: Sequence[FunctionalDependency] = ()
+) -> SafePlanNode:
+    """Build the safe plan of ``query`` following its hierarchy tree.
+
+    Raises :class:`UnsafePlanError` if the query admits none — the behaviour a
+    MystiQ-style system exhibits for the #P-hard queries.
+    """
+    if is_hierarchical(query):
+        tree = build_hierarchy(query)
+        head = set(query.projection)
+    elif fds and is_hierarchical(fd_reduct(query, fds)):
+        tree = build_hierarchy(fd_reduct(query, fds))
+        head = set(query.projection)
+    else:
+        raise UnsafePlanError(
+            f"query {query.name!r} is not hierarchical (even under the given FDs); "
+            "no safe plan exists"
+        )
+
+    def convert(node: HierarchyNode, parent_attributes) -> SafePlanNode:
+        if node.is_leaf:
+            return SafePlanNode(kind="table", table=node.atom.table)
+        children = tuple(convert(child, node.attributes) for child in node.children)
+        project = tuple(sorted((set(parent_attributes) | head) & _physical(node, query)))
+        return SafePlanNode(
+            kind="project-join",
+            project_attributes=project,
+            join_attributes=tuple(sorted(node.attributes)),
+            children=children,
+        )
+
+    return convert(tree, ())
+
+
+def _physical(node: HierarchyNode, query: ConjunctiveQuery) -> set:
+    """Attributes physically available below ``node`` in the original query."""
+    available = set()
+    for table in node.tables():
+        available |= set(query.attributes_of(table))
+    return available
+
+
+def safe_plan_description(
+    query: ConjunctiveQuery, fds: Sequence[FunctionalDependency] = ()
+) -> str:
+    """Human-readable rendering of the safe plan (Fig. 2 style)."""
+    return build_safe_plan(query, fds).pretty()

@@ -1,0 +1,52 @@
+"""SPROUT core: the confidence operator, scan scheduling, planners, engine."""
+
+from repro.sprout.conf_operator import ConfOperatorResult, ConfStep, apply_semantics, grp_statements
+from repro.sprout.engine import CONF_METHODS, PLAN_STYLES, EvaluationResult, SproutEngine
+from repro.sprout.onescan import (
+    ColumnMap,
+    OneScanState,
+    column_map_for,
+    group_probability,
+    one_scan_operator,
+    scan_confidences,
+    sort_column_order,
+    streaming_scan_confidences,
+)
+from repro.sprout.planner import (
+    JoinOrderPlanner,
+    base_table_plan,
+    build_answer_plan,
+    eager_evaluation,
+    evaluate_deterministic,
+    needed_data_attributes,
+)
+from repro.sprout.scans import ScanSchedule, ScanStep, apply_scan_schedule, schedule_scans
+
+__all__ = [
+    "CONF_METHODS",
+    "ColumnMap",
+    "ConfOperatorResult",
+    "ConfStep",
+    "EvaluationResult",
+    "JoinOrderPlanner",
+    "OneScanState",
+    "PLAN_STYLES",
+    "ScanSchedule",
+    "ScanStep",
+    "SproutEngine",
+    "apply_scan_schedule",
+    "apply_semantics",
+    "base_table_plan",
+    "build_answer_plan",
+    "column_map_for",
+    "eager_evaluation",
+    "evaluate_deterministic",
+    "group_probability",
+    "grp_statements",
+    "needed_data_attributes",
+    "one_scan_operator",
+    "scan_confidences",
+    "schedule_scans",
+    "sort_column_order",
+    "streaming_scan_confidences",
+]

@@ -1,0 +1,383 @@
+"""The SPROUT engine: the public entry point for confidence computation.
+
+``SproutEngine`` evaluates conjunctive queries (without self-joins) on a
+tuple-independent probabilistic database and returns the distinct answer
+tuples with their exact confidences.  The caller chooses the *plan style*:
+
+``lazy``
+    Optimizer-chosen join order; the confidence operator runs once, at the top
+    of the plan (Fig. 7(c)).  The default, and the winner on TPC-H.
+``eager``
+    Hierarchy-imposed join order with aggregation after every base table and
+    every join — structurally the safe plan of Fig. 2/7(a), but expressed with
+    SPROUT's operator.
+``hybrid``
+    Hierarchy-imposed join order with aggregation only after joins (the
+    operators on top of the input tables are dropped), Fig. 7(b).
+``lineage``
+    Fallback for queries that are not tractable even with FDs: evaluate the
+    answer lazily and compute each distinct tuple's confidence by exact
+    weighted model counting on its DNF lineage (worst-case exponential).
+
+Independently of the plan style, the confidence computation method can be the
+scan-based operator (``scans``, Section V.C) or the literal GRP-sequence
+semantics (``semantics``, Fig. 5) — the latter exists for validation and for
+the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NonHierarchicalQueryError, PlanningError, UnsupportedQueryError
+from repro.algebra.operators import Operator
+from repro.prob.lineage import confidences_from_lineage
+from repro.prob.pdb import ProbabilisticDatabase
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.fd import chased_query, closure
+from repro.query.hierarchy import HierarchyNode, build_hierarchy, is_hierarchical
+from repro.query.rewrite import (
+    catalog_table_attributes,
+    effective_boolean_query,
+    effective_signature,
+    is_tractable,
+)
+from repro.query.signature import Signature, num_scans
+from repro.sprout.conf_operator import apply_semantics
+from repro.sprout.onescan import sort_column_order
+from repro.sprout.planner import (
+    JoinOrderPlanner,
+    _aggregate_pair,
+    build_answer_plan,
+    eager_evaluation,
+    project_answer_columns,
+)
+from repro.sprout.scans import ScanSchedule, apply_scan_schedule
+from repro.storage.heapfile import HeapFile
+from repro.storage.relation import Relation
+from repro.storage.schema import Attribute, ColumnRole, Schema
+
+__all__ = ["EvaluationResult", "SproutEngine", "PLAN_STYLES", "CONF_METHODS"]
+
+PLAN_STYLES = ("lazy", "eager", "hybrid", "lineage")
+CONF_METHODS = ("scans", "semantics")
+
+
+@dataclass
+class EvaluationResult:
+    """Answer of a query: distinct data tuples, confidences, and metrics."""
+
+    query_name: str
+    plan_style: str
+    relation: Relation
+    signature: Optional[Signature]
+    join_order: List[str] = field(default_factory=list)
+    tuples_seconds: float = 0.0
+    prob_seconds: float = 0.0
+    answer_rows: int = 0
+    rows_processed: int = 0
+    scans_used: int = 1
+    scan_schedule: Optional[ScanSchedule] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.tuples_seconds + self.prob_seconds
+
+    @property
+    def distinct_tuples(self) -> int:
+        return len(self.relation)
+
+    def confidences(self) -> Dict[Tuple[object, ...], float]:
+        """Mapping from distinct data tuple to its confidence."""
+        conf_index = self.relation.schema.index_of("conf")
+        data_indices = [
+            i for i, a in enumerate(self.relation.schema) if a.name != "conf"
+        ]
+        return {
+            tuple(row[i] for i in data_indices): row[conf_index]
+            for row in self.relation
+        }
+
+    def boolean_confidence(self) -> float:
+        """Confidence of a Boolean query (0.0 when the answer is empty)."""
+        values = list(self.confidences().values())
+        if not values:
+            return 0.0
+        if len(values) > 1:
+            raise PlanningError("boolean_confidence() called on a non-Boolean answer")
+        return values[0]
+
+    def summary(self) -> str:
+        return (
+            f"{self.query_name} [{self.plan_style}] "
+            f"{self.distinct_tuples} distinct tuples from {self.answer_rows} answer rows, "
+            f"tuples {self.tuples_seconds:.4f}s + prob {self.prob_seconds:.4f}s "
+            f"({self.scans_used} scan(s))"
+        )
+
+
+class SproutEngine:
+    """Query engine over a :class:`ProbabilisticDatabase`."""
+
+    def __init__(self, database: ProbabilisticDatabase):
+        self.database = database
+        self.planner = JoinOrderPlanner(database)
+
+    # -- static analysis --------------------------------------------------------
+
+    def functional_dependencies(self, query: ConjunctiveQuery, use_fds: bool = True):
+        if not use_fds:
+            return []
+        return self.database.catalog.functional_dependencies(query.table_names())
+
+    def signature_for(self, query: ConjunctiveQuery, use_fds: bool = True) -> Signature:
+        """The effective signature used to process ``query`` (Section IV)."""
+        fds = self.functional_dependencies(query, use_fds)
+        table_attributes = catalog_table_attributes(self.database.catalog, query.table_names())
+        return effective_signature(query, fds, table_attributes)
+
+    def is_tractable(self, query: ConjunctiveQuery, use_fds: bool = True) -> bool:
+        return is_tractable(query, self.functional_dependencies(query, use_fds))
+
+    def planning_head(self, query: ConjunctiveQuery, use_fds: bool = True) -> frozenset:
+        """Head attributes plus everything they functionally determine.
+
+        Within one bag of duplicate answer tuples these attributes are
+        constant, so the eager/hybrid planners may keep them in intermediate
+        projections (they are needed for the physical joins) without changing
+        the grouping structure; the final projection drops the extra ones.
+        """
+        fds = self.functional_dependencies(query, use_fds)
+        determined = closure(query.projection, fds) if fds else frozenset(query.projection)
+        return frozenset(determined)
+
+    def _planning_query(self, query: ConjunctiveQuery, use_fds: bool) -> ConjunctiveQuery:
+        fds = self.functional_dependencies(query, use_fds)
+        chased = chased_query(query, fds) if fds else query
+        head = self.planning_head(query, use_fds) & frozenset(chased.attributes())
+        return chased.with_projection(sorted(head), name=f"plan({query.name})")
+
+    def hierarchy_for(self, query: ConjunctiveQuery, use_fds: bool = True) -> HierarchyNode:
+        """Hierarchy tree used by the eager/hybrid (safe-plan-shaped) planners.
+
+        The tree is built from the *chased* query (atoms extended to their
+        attribute closures) with the projection widened to the head's closure:
+        unlike the FD-reduct it still mentions every physical join attribute,
+        so the tree is directly executable, while Proposition IV.5 guarantees
+        it is hierarchical whenever the query is tractable under the FDs.
+        """
+        planning = self._planning_query(query, use_fds)
+        if is_hierarchical(planning):
+            return build_hierarchy(planning)
+        if is_hierarchical(query):
+            return build_hierarchy(query)
+        raise NonHierarchicalQueryError(
+            f"query {query.name!r} has no hierarchical structure to plan with"
+        )
+
+    def explain(self, query: ConjunctiveQuery, plan: str = "lazy", use_fds: bool = True) -> str:
+        """Describe the plan the engine would run, without executing it."""
+        lines = [f"query: {query}"]
+        if plan == "lineage":
+            lines.append("plan: lazy answer computation + exact lineage model counting")
+            return "\n".join(lines)
+        signature = self.signature_for(query, use_fds)
+        lines.append(f"signature: {signature}  (#scans = {num_scans(signature)})")
+        if plan == "lazy":
+            order = self.planner.lazy_join_order(query)
+            lines.append(f"plan: lazy, join order {order}, conf operator on top")
+        else:
+            tree = self.hierarchy_for(query, use_fds)
+            order = self.planner.hierarchical_join_order(query, tree)
+            lines.append(
+                f"plan: {plan}, hierarchy join order {order}, "
+                f"aggregation {'after every table and join' if plan == 'eager' else 'after joins only'}"
+            )
+        return "\n".join(lines)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        plan: str = "lazy",
+        use_fds: bool = True,
+        conf_method: str = "scans",
+        join_order: Optional[Sequence[str]] = None,
+        materialize_to_disk: bool = False,
+    ) -> EvaluationResult:
+        """Compute the distinct answer tuples of ``query`` and their confidences."""
+        if plan not in PLAN_STYLES:
+            raise PlanningError(f"unknown plan style {plan!r}; choose from {PLAN_STYLES}")
+        if conf_method not in CONF_METHODS:
+            raise PlanningError(
+                f"unknown confidence method {conf_method!r}; choose from {CONF_METHODS}"
+            )
+        uncovered = query.uncovered_selections()
+        if uncovered:
+            raise UnsupportedQueryError(
+                f"query {query.name!r} has selection conditions spanning several tables "
+                f"({[str(p) for p in uncovered]}); only per-table selections are supported"
+            )
+        if plan == "lineage":
+            return self._evaluate_lineage(query, join_order)
+        if plan == "lazy":
+            return self._evaluate_lazy(
+                query, use_fds, conf_method, join_order, materialize_to_disk
+            )
+        return self._evaluate_eager_or_hybrid(query, plan, use_fds)
+
+    # -- lazy plans -------------------------------------------------------------------
+
+    def _answer_relation(
+        self, query: ConjunctiveQuery, join_order: Optional[Sequence[str]]
+    ) -> Tuple[Relation, List[str], int]:
+        order = list(join_order) if join_order else self.planner.lazy_join_order(query)
+        plan = build_answer_plan(self.database, query, order)
+        plan = project_answer_columns(plan, query)
+        relation = plan.to_relation(query.name)
+        return relation, order, plan.total_rows_processed()
+
+    def _evaluate_lazy(
+        self,
+        query: ConjunctiveQuery,
+        use_fds: bool,
+        conf_method: str,
+        join_order: Optional[Sequence[str]],
+        materialize_to_disk: bool,
+    ) -> EvaluationResult:
+        signature = self.signature_for(query, use_fds)
+
+        started = perf_counter()
+        answer, order, rows_processed = self._answer_relation(query, join_order)
+        # The operator's required sort order (data columns, then variable
+        # columns in 1scanTree preorder) is produced while materialising the
+        # answer, exactly as the lazy plans of Section VII do.
+        sort_order = sort_column_order(answer.schema, signature)
+        answer = answer.sorted_by(sort_order)
+        if materialize_to_disk:
+            heap = HeapFile(answer.schema)
+            heap.write_rows(answer.rows)
+            heap.close()
+        tuples_seconds = perf_counter() - started
+
+        started = perf_counter()
+        schedule: Optional[ScanSchedule] = None
+        if conf_method == "semantics":
+            result_relation = apply_semantics(answer, signature).relation
+            scans_used = 0
+        else:
+            result_relation, schedule = apply_scan_schedule(answer, signature, presorted=True)
+            scans_used = schedule.total_scans
+        prob_seconds = perf_counter() - started
+
+        return EvaluationResult(
+            query_name=query.name,
+            plan_style="lazy",
+            relation=result_relation,
+            signature=signature,
+            join_order=order,
+            tuples_seconds=tuples_seconds,
+            prob_seconds=prob_seconds,
+            answer_rows=len(answer),
+            rows_processed=rows_processed,
+            scans_used=scans_used,
+            scan_schedule=schedule,
+        )
+
+    # -- eager / hybrid plans ------------------------------------------------------------
+
+    def _evaluate_eager_or_hybrid(
+        self, query: ConjunctiveQuery, plan: str, use_fds: bool
+    ) -> EvaluationResult:
+        signature = self.signature_for(query, use_fds)
+        tree = self.hierarchy_for(query, use_fds)
+        order = self.planner.hierarchical_join_order(query, tree)
+
+        started = perf_counter()
+        node_result = eager_evaluation(
+            self.database,
+            query,
+            tree,
+            signature,
+            aggregate_leaves=(plan == "eager"),
+            head_attributes=self.planning_head(query, use_fds),
+        )
+        # Project away the functionally determined companions of the head that
+        # were carried along for the joins, then aggregate by the true head so
+        # that exactly one row per distinct data tuple remains.
+        final = node_result.relation
+        pair = final.schema.var_prob_pairs()[0]
+        keep = [a for a in query.projection if a in final.schema]
+        keep += [pair.var_name, pair.prob_name]
+        if keep != list(final.schema.names):
+            final = final.project(keep)
+        final = _aggregate_pair(final, node_result.leader)
+        elapsed = perf_counter() - started
+
+        relation = self._finalize(final, query)
+        return EvaluationResult(
+            query_name=query.name,
+            plan_style=plan,
+            relation=relation,
+            signature=signature,
+            join_order=order,
+            tuples_seconds=elapsed,
+            prob_seconds=0.0,
+            answer_rows=len(final),
+            rows_processed=node_result.rows_processed,
+            scans_used=0,
+        )
+
+    # -- lineage fallback ---------------------------------------------------------------
+
+    def _evaluate_lineage(
+        self, query: ConjunctiveQuery, join_order: Optional[Sequence[str]]
+    ) -> EvaluationResult:
+        started = perf_counter()
+        answer, order, rows_processed = self._answer_relation(query, join_order)
+        tuples_seconds = perf_counter() - started
+
+        started = perf_counter()
+        confidences = confidences_from_lineage(answer)
+        prob_seconds = perf_counter() - started
+
+        data_attributes = [a for a in answer.schema if a.role is ColumnRole.DATA]
+        schema = Schema(list(data_attributes) + [Attribute("conf", "float")])
+        relation = Relation(query.name, schema)
+        for data, confidence in sorted(confidences.items(), key=lambda item: repr(item[0])):
+            relation.append(tuple(data) + (confidence,))
+        return EvaluationResult(
+            query_name=query.name,
+            plan_style="lineage",
+            relation=relation,
+            signature=None,
+            join_order=order,
+            tuples_seconds=tuples_seconds,
+            prob_seconds=prob_seconds,
+            answer_rows=len(answer),
+            rows_processed=rows_processed,
+            scans_used=1,
+        )
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _finalize(self, relation: Relation, query: ConjunctiveQuery) -> Relation:
+        """Rename the surviving probability column to ``conf`` and drop variables."""
+        pairs = relation.schema.var_prob_pairs()
+        if len(pairs) != 1:
+            raise PlanningError(
+                f"expected exactly one surviving V/P pair, found {len(pairs)}"
+            )
+        pair = pairs[0]
+        data_names = [a.name for a in relation.schema if a.role is ColumnRole.DATA]
+        schema = Schema(
+            [relation.schema[name] for name in data_names] + [Attribute("conf", "float")]
+        )
+        result = Relation(query.name, schema)
+        data_indices = relation.schema.indices_of(data_names)
+        for row in relation:
+            result.append(tuple(row[i] for i in data_indices) + (row[pair.prob_index],))
+        return result

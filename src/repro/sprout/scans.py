@@ -1,0 +1,232 @@
+"""Scan scheduling for the confidence operator (Proposition V.10).
+
+A signature with the 1scan property is handled by a single scan of the sorted
+answer.  Otherwise the operator first runs *pre-aggregation* scans: each scan
+evaluates a constituent sub-operator (e.g. ``[Ord*]``) with one GRP pass,
+rewriting the signature (``Ord* -> Ord``), until the remaining signature has
+the 1scan property; a final scan then computes the confidences.  Example V.11:
+``[(Cust*(Ord*Item*)*)*]`` needs three scans — ``[Ord*]``, ``[Cust*]``, and
+the final scan over ``(Cust(Ord Item*)*)*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.algebra.aggregate import AggregateSpec, GroupByOp
+from repro.algebra.operators import MaterializedOp
+from repro.query.signature import (
+    ConcatSig,
+    Signature,
+    StarSig,
+    TableSig,
+    has_one_scan_property,
+    num_scans,
+)
+from repro.sprout.onescan import ColumnMap, one_scan_operator
+from repro.storage.relation import Relation
+
+__all__ = ["ScanStep", "ScanSchedule", "schedule_scans", "apply_scan_schedule"]
+
+
+@dataclass(frozen=True)
+class ScanStep:
+    """One pre-aggregation scan: evaluate ``[subsignature]`` and simplify."""
+
+    sub_signature: Signature
+    aggregated_table: str  # representative (leftmost) table of the sub-signature
+    signature_before: Signature
+    signature_after: Signature
+
+    def __str__(self) -> str:
+        return (
+            f"scan [{self.sub_signature}] : {self.signature_before} -> {self.signature_after}"
+        )
+
+
+@dataclass
+class ScanSchedule:
+    """The full scan schedule of an operator invocation."""
+
+    original_signature: Signature
+    pre_aggregations: List[ScanStep] = field(default_factory=list)
+    final_signature: Signature = None
+
+    @property
+    def total_scans(self) -> int:
+        """Pre-aggregation scans plus the final confidence scan."""
+        return len(self.pre_aggregations) + 1
+
+    def describe(self) -> str:
+        lines = [f"signature: {self.original_signature}"]
+        for step in self.pre_aggregations:
+            lines.append(f"  {step}")
+        lines.append(f"  final scan over {self.final_signature}")
+        return "\n".join(lines)
+
+
+def _innermost_failing_star(signature: Signature) -> Optional[StarSig]:
+    """The deepest starred subexpression lacking the 1scan property."""
+    failing = [
+        sub
+        for sub in signature.subexpressions()
+        if isinstance(sub, StarSig) and not has_one_scan_property(sub)
+    ]
+    if not failing:
+        return None
+    # subexpressions() is preorder; the innermost failing star is the one with
+    # no failing descendant.
+    for candidate in failing:
+        descendants = candidate.inner.subexpressions()
+        if not any(
+            isinstance(d, StarSig) and not has_one_scan_property(d) for d in descendants
+        ):
+            return candidate
+    return failing[-1]
+
+
+def _pick_pre_aggregation(failing: StarSig) -> Signature:
+    """Choose the part of a failing starred composite to aggregate first.
+
+    Prefer a starred table (``T*`` — one plain GRP), otherwise any part that
+    itself has the 1scan property (a composite sub-operator).
+    """
+    parts = failing.inner.top_level_parts()
+    for part in parts:
+        if isinstance(part, StarSig) and isinstance(part.inner, TableSig):
+            return part
+    for part in parts:
+        if has_one_scan_property(part):
+            return part
+    raise QueryError(
+        f"cannot schedule scans for signature {failing}: no aggregatable part"
+    )
+
+
+def _replace(signature: Signature, target: Signature, replacement: Signature) -> Signature:
+    """Replace the first structural occurrence of ``target`` by ``replacement``."""
+    if signature == target:
+        return replacement
+    if isinstance(signature, TableSig):
+        return signature
+    if isinstance(signature, StarSig):
+        return StarSig(_replace(signature.inner, target, replacement))
+    if isinstance(signature, ConcatSig):
+        replaced = False
+        parts: List[Signature] = []
+        for part in signature.parts:
+            if not replaced:
+                new_part = _replace(part, target, replacement)
+                if new_part is not part and new_part != part:
+                    replaced = True
+                parts.append(new_part)
+            else:
+                parts.append(part)
+        return ConcatSig(parts)
+    raise QueryError(f"unknown signature node {signature!r}")
+
+
+def schedule_scans(signature: Signature) -> ScanSchedule:
+    """Plan the pre-aggregation scans needed before the final 1scan pass."""
+    schedule = ScanSchedule(original_signature=signature)
+    current = signature
+    while not has_one_scan_property(current):
+        failing = _innermost_failing_star(current)
+        if failing is None:
+            break
+        part = _pick_pre_aggregation(failing)
+        representative = part.tables()[0]
+        after = _replace(current, part, TableSig(representative))
+        schedule.pre_aggregations.append(
+            ScanStep(
+                sub_signature=part,
+                aggregated_table=representative,
+                signature_before=current,
+                signature_after=after,
+            )
+        )
+        current = after
+    schedule.final_signature = current
+    return schedule
+
+
+def _run_pre_aggregation(answer: Relation, step: ScanStep) -> Relation:
+    """Execute one pre-aggregation scan as a GRP pass.
+
+    The sub-operator ``[part]`` groups by every column except the V/P columns
+    of the part's tables, computes the part's probability per group (for a
+    plain ``T*`` this is ``prob(T.P)``), stores it in the representative
+    table's probability column with ``min`` of its variable column as the
+    representative variable, and drops the other tables' columns.
+    """
+    part = step.sub_signature
+    tables = part.tables()
+    representative = step.aggregated_table
+    columns = ColumnMap(answer.schema)
+    part_columns = set()
+    for table in tables:
+        part_columns.add(answer.schema.names[columns.var_index[table]])
+        part_columns.add(answer.schema.names[columns.prob_index[table]])
+    group_by = [name for name in answer.schema.names if name not in part_columns]
+
+    if isinstance(part, StarSig) and isinstance(part.inner, TableSig):
+        # Plain [T*]: a single GRP statement suffices.
+        var_column = answer.schema.names[columns.var_index[representative]]
+        prob_column = answer.schema.names[columns.prob_index[representative]]
+        operator = GroupByOp(
+            MaterializedOp(answer),
+            group_by,
+            [
+                AggregateSpec("min", var_column, var_column),
+                AggregateSpec("prob", prob_column, prob_column),
+            ],
+        )
+        return operator.to_relation(answer.name)
+
+    # Composite sub-operator: evaluate its factorisation per group.
+    from repro.sprout.onescan import group_probability  # local import to avoid cycle
+
+    var_column = answer.schema.names[columns.var_index[representative]]
+    prob_column = answer.schema.names[columns.prob_index[representative]]
+    group_indices = answer.schema.indices_of(group_by)
+    kept_names = group_by + [var_column, prob_column]
+    kept_schema = answer.schema.project(kept_names)
+    result = Relation(answer.name, kept_schema)
+
+    groups = {}
+    order: List[Tuple[object, ...]] = []
+    for row in answer:
+        key = tuple(row[i] for i in group_indices)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    var_index = columns.var_index[representative]
+    for key in order:
+        rows = groups[key]
+        probability = group_probability(part, rows, columns)
+        representative_variable = min(row[var_index] for row in rows)
+        result.append(key + (representative_variable, probability))
+    return result
+
+
+def apply_scan_schedule(
+    answer: Relation,
+    signature: Signature,
+    presorted: bool = False,
+) -> Tuple[Relation, ScanSchedule]:
+    """Run the full multi-scan confidence computation on ``answer``.
+
+    Returns the relation of distinct data tuples with their ``conf`` values
+    and the schedule that was executed.  The number of scans equals
+    ``schedule.total_scans`` and matches Proposition V.10 for the signatures
+    arising from hierarchical queries.
+    """
+    schedule = schedule_scans(signature)
+    current = answer
+    for step in schedule.pre_aggregations:
+        current = _run_pre_aggregation(current, step)
+    result = one_scan_operator(current, schedule.final_signature, presorted=presorted)
+    return result, schedule

@@ -1,0 +1,26 @@
+"""Storage substrate: schemas, relations, heap files, external sort, catalog."""
+
+from repro.storage.catalog import Catalog, FunctionalDependency, TableInfo
+from repro.storage.csv_io import read_csv, write_csv
+from repro.storage.external_sort import SortStats, external_sort, sort_key_for
+from repro.storage.heapfile import HeapFile, PageStats
+from repro.storage.relation import Relation
+from repro.storage.schema import Attribute, ColumnRole, Schema, VarProbPair
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "ColumnRole",
+    "FunctionalDependency",
+    "HeapFile",
+    "PageStats",
+    "Relation",
+    "Schema",
+    "SortStats",
+    "TableInfo",
+    "VarProbPair",
+    "external_sort",
+    "read_csv",
+    "sort_key_for",
+    "write_csv",
+]

@@ -1,0 +1,190 @@
+"""Database catalog: tables, keys, and functional dependencies.
+
+The catalog is the schema-level knowledge SPROUT uses *statically*: which
+tables exist, which attribute sets are keys, and which functional dependencies
+(FDs) hold.  Section IV of the paper uses this information to compute
+FD-reducts and to refine query signatures; the catalog is therefore shared by
+the deterministic substrate, the probabilistic layer, and the planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+__all__ = ["FunctionalDependency", "TableInfo", "Catalog"]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``determinant -> dependent`` on one table.
+
+    The dependency is scoped to a table name because the paper's FDs are
+    per-relation (e.g. ``Ord: okey -> ckey, odate``).  Attribute names follow
+    the query-model convention that join attributes share names across tables,
+    so the closure computation in :mod:`repro.query.fd` can apply an FD of one
+    table to the attribute set of another whenever the determinant attributes
+    are present there (this is exactly the chase step of Proposition IV.5).
+    """
+
+    table: str
+    determinant: FrozenSet[str]
+    dependent: FrozenSet[str]
+
+    def __init__(self, table: str, determinant: Iterable[str], dependent: Iterable[str]):
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "determinant", frozenset(determinant))
+        object.__setattr__(self, "dependent", frozenset(dependent))
+        if not self.determinant:
+            raise CatalogError("functional dependency needs a non-empty determinant")
+        if not self.dependent:
+            raise CatalogError("functional dependency needs a non-empty dependent")
+
+    def __str__(self) -> str:
+        lhs = ",".join(sorted(self.determinant))
+        rhs = ",".join(sorted(self.dependent))
+        return f"{self.table}: {lhs} -> {rhs}"
+
+    def applies_to(self, attributes: Iterable[str]) -> bool:
+        """True if the determinant is contained in ``attributes`` (a chase step fires)."""
+        return self.determinant <= set(attributes)
+
+
+@dataclass
+class TableInfo:
+    """Catalog entry for one table."""
+
+    name: str
+    schema: Schema
+    relation: Optional[Relation] = None
+    primary_key: Optional[Tuple[str, ...]] = None
+    candidate_keys: List[Tuple[str, ...]] = field(default_factory=list)
+
+    def keys(self) -> List[Tuple[str, ...]]:
+        """All declared keys (primary first)."""
+        keys: List[Tuple[str, ...]] = []
+        if self.primary_key:
+            keys.append(self.primary_key)
+        keys.extend(k for k in self.candidate_keys if k != self.primary_key)
+        return keys
+
+
+class Catalog:
+    """Registry of tables, their keys, and functional dependencies."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, TableInfo] = {}
+        self._fds: List[FunctionalDependency] = []
+
+    # -- tables ---------------------------------------------------------------
+
+    def register_table(
+        self,
+        name: str,
+        schema: Schema,
+        relation: Optional[Relation] = None,
+        primary_key: Optional[Sequence[str]] = None,
+        candidate_keys: Optional[Iterable[Sequence[str]]] = None,
+    ) -> TableInfo:
+        """Register a table; keys are also recorded as functional dependencies."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already registered")
+        info = TableInfo(
+            name=name,
+            schema=schema,
+            relation=relation,
+            primary_key=tuple(primary_key) if primary_key else None,
+            candidate_keys=[tuple(k) for k in (candidate_keys or [])],
+        )
+        self._tables[name] = info
+        for key in info.keys():
+            self._register_key_fd(name, key, schema)
+        return info
+
+    def _register_key_fd(self, table: str, key: Sequence[str], schema: Schema) -> None:
+        dependents = [a for a in schema.data_names() if a not in key]
+        if dependents:
+            self.add_fd(FunctionalDependency(table, key, dependents))
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; known tables: {sorted(self._tables)}"
+            ) from None
+
+    def tables(self) -> List[TableInfo]:
+        return list(self._tables.values())
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def set_relation(self, name: str, relation: Relation) -> None:
+        """Attach (or replace) the stored rows of a registered table."""
+        self.table(name).relation = relation
+
+    def relation(self, name: str) -> Relation:
+        info = self.table(name)
+        if info.relation is None:
+            raise CatalogError(f"table {name!r} has no stored relation")
+        return info.relation
+
+    # -- keys and functional dependencies --------------------------------------
+
+    def add_fd(self, fd: FunctionalDependency) -> None:
+        """Register a functional dependency (duplicates are ignored)."""
+        if fd not in self._fds:
+            self._fds.append(fd)
+
+    def add_key(self, table: str, key: Sequence[str]) -> None:
+        """Declare ``key`` to be a key of ``table`` and record the implied FD."""
+        info = self.table(table)
+        key_tuple = tuple(key)
+        if info.primary_key is None:
+            info.primary_key = key_tuple
+        elif key_tuple not in info.candidate_keys and key_tuple != info.primary_key:
+            info.candidate_keys.append(key_tuple)
+        self._register_key_fd(table, key_tuple, info.schema)
+
+    def functional_dependencies(
+        self, tables: Optional[Iterable[str]] = None
+    ) -> List[FunctionalDependency]:
+        """All FDs, optionally restricted to the given tables."""
+        if tables is None:
+            return list(self._fds)
+        wanted = set(tables)
+        return [fd for fd in self._fds if fd.table in wanted]
+
+    def keys_of(self, table: str) -> List[Tuple[str, ...]]:
+        """Declared keys of ``table`` (may be empty)."""
+        return self.table(table).keys()
+
+    def is_key(self, table: str, attributes: Iterable[str]) -> bool:
+        """True if ``attributes`` contain a declared key of ``table``."""
+        attribute_set = set(attributes)
+        return any(set(key) <= attribute_set for key in self.keys_of(table))
+
+    # -- introspection ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable catalog summary (used by examples and the README)."""
+        lines = []
+        for info in self._tables.values():
+            row_count = len(info.relation) if info.relation is not None else 0
+            keys = ", ".join("(" + ",".join(k) + ")" for k in info.keys()) or "none"
+            lines.append(
+                f"{info.name}({', '.join(info.schema.names)}) "
+                f"[{row_count} rows, keys: {keys}]"
+            )
+        if self._fds:
+            lines.append("functional dependencies:")
+            lines.extend(f"  {fd}" for fd in self._fds)
+        return "\n".join(lines)

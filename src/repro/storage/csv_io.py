@@ -1,0 +1,62 @@
+"""CSV import/export for relations.
+
+TPC-H data and experiment outputs are exchanged as CSV so that users can
+inspect or regenerate them with standard tools.  Typed parsing is driven by
+the relation schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.relation import Relation
+from repro.storage.schema import Attribute, Schema
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(relation: Relation, path: str) -> None:
+    """Write ``relation`` to ``path`` with a header row of attribute names."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation:
+            writer.writerow(["" if v is None else v for v in row])
+
+
+def _parse(attribute: Attribute, text: str) -> object:
+    if text == "":
+        return None
+    if attribute.dtype == "int":
+        return int(text)
+    if attribute.dtype == "float":
+        return float(text)
+    if attribute.dtype == "bool":
+        return text.strip().lower() in ("1", "true", "t", "yes")
+    return text
+
+
+def read_csv(path: str, schema: Schema, name: Optional[str] = None) -> Relation:
+    """Read a CSV file written by :func:`write_csv` back into a relation."""
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"CSV file {path!r} is empty") from None
+        if tuple(header) != schema.names:
+            raise StorageError(
+                f"CSV header {header} does not match schema {list(schema.names)}"
+            )
+        relation = Relation(name or path, schema)
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(schema):
+                raise StorageError(
+                    f"{path}:{line_number}: expected {len(schema)} fields, got {len(row)}"
+                )
+            relation.append(
+                tuple(_parse(attribute, text) for attribute, text in zip(schema, row))
+            )
+        return relation

@@ -1,0 +1,124 @@
+"""External merge sort over row iterators.
+
+The confidence operator requires its input sorted by the data columns followed
+by the variable columns in 1scanTree preorder (Section V.C).  At TPC-H scale
+the answer relation does not necessarily fit in memory, so SPROUT relies on the
+host engine's external sort.  This module provides a k-way external merge sort
+that spills sorted runs to temporary files once an in-memory budget is
+exceeded, plus a convenience in-memory path for small inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["SortStats", "external_sort", "sort_key_for"]
+
+Row = Tuple[object, ...]
+
+
+@dataclass
+class SortStats:
+    """Counters describing one external-sort execution."""
+
+    rows_in: int = 0
+    runs_spilled: int = 0
+    rows_spilled: int = 0
+    merge_passes: int = 0
+    run_files: List[str] = field(default_factory=list)
+
+
+def sort_key_for(value: object) -> Tuple[int, object]:
+    """Total order over heterogeneous, possibly-None values.
+
+    None sorts first, then booleans/numbers, then everything else by string.
+    This matches :func:`repro.storage.relation._sort_key` so that convenience
+    sorts and external sorts agree on ordering.
+    """
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def _row_key(indices: Sequence[int]) -> Callable[[Row], Tuple]:
+    def key(row: Row) -> Tuple:
+        return tuple(sort_key_for(row[i]) for i in indices)
+
+    return key
+
+
+def external_sort(
+    rows: Iterable[Sequence[object]],
+    key_indices: Sequence[int],
+    max_rows_in_memory: int = 100_000,
+    stats: Optional[SortStats] = None,
+) -> Iterator[Row]:
+    """Yield ``rows`` sorted by the columns at ``key_indices``.
+
+    Runs of up to ``max_rows_in_memory`` rows are sorted in memory; if more
+    than one run is needed the runs are spilled to temporary files and merged
+    with a k-way heap merge.  The iterator owns the temporary files and removes
+    them when exhausted or garbage collected.
+    """
+    stats = stats if stats is not None else SortStats()
+    key = _row_key(key_indices)
+
+    run_paths: List[str] = []
+    buffer: List[Row] = []
+
+    def spill(buffer_rows: List[Row]) -> None:
+        buffer_rows.sort(key=key)
+        fd, path = tempfile.mkstemp(prefix="repro_sort_run_", suffix=".jsonl")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            for row in buffer_rows:
+                handle.write(json.dumps(list(row), default=str))
+                handle.write("\n")
+        run_paths.append(path)
+        stats.runs_spilled += 1
+        stats.rows_spilled += len(buffer_rows)
+        stats.run_files.append(path)
+
+    for row in rows:
+        buffer.append(tuple(row))
+        stats.rows_in += 1
+        if len(buffer) >= max_rows_in_memory:
+            spill(buffer)
+            buffer = []
+
+    if not run_paths:
+        # Everything fits in memory: plain sort, no spill.
+        buffer.sort(key=key)
+        yield from buffer
+        return
+
+    if buffer:
+        spill(buffer)
+        buffer = []
+
+    stats.merge_passes += 1
+    try:
+        yield from _merge_runs(run_paths, key)
+    finally:
+        for path in run_paths:
+            if os.path.exists(path):
+                os.remove(path)
+
+
+def _read_run(path: str) -> Iterator[Row]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            yield tuple(json.loads(line))
+
+
+def _merge_runs(run_paths: List[str], key: Callable[[Row], Tuple]) -> Iterator[Row]:
+    iterators = [_read_run(path) for path in run_paths]
+    yield from heapq.merge(*iterators, key=key)

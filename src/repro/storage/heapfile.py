@@ -1,0 +1,161 @@
+"""A minimal page-based heap file, the secondary-storage substrate.
+
+The paper's operator is a *secondary-storage* operator: it streams sorted
+answer tuples from disk and keeps only a constant number of running
+aggregates in memory.  To make that aspect reproducible without PostgreSQL we
+provide a small heap-file abstraction: rows are serialised to fixed-size pages
+on disk and read back page at a time.  The rest of the library works against
+plain iterators, so in-memory and on-disk relations are interchangeable; the
+heap file exists so that tests and benchmarks can exercise (and count) real
+page I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.storage.schema import Schema
+
+__all__ = ["PageStats", "HeapFile"]
+
+DEFAULT_PAGE_SIZE = 8192
+
+
+@dataclass
+class PageStats:
+    """Counters of page-level I/O performed by a heap file."""
+
+    pages_written: int = 0
+    pages_read: int = 0
+    tuples_written: int = 0
+    tuples_read: int = 0
+
+    def reset(self) -> None:
+        self.pages_written = 0
+        self.pages_read = 0
+        self.tuples_written = 0
+        self.tuples_read = 0
+
+
+class HeapFile:
+    """Append-only heap file storing rows as JSON lines grouped into pages.
+
+    Pages are delimited by byte offsets recorded in an in-memory page
+    directory; a page holds as many rows as fit in ``page_size`` encoded bytes.
+    The encoding is deliberately simple (JSON) — the point is to model the
+    *access pattern* (sequential page reads/writes), not storage density.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        path: Optional[str] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self.schema = schema
+        self.page_size = page_size
+        self.stats = PageStats()
+        self._page_offsets: List[int] = []
+        self._page_tuple_counts: List[int] = []
+        self._closed = False
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro_heap_", suffix=".jsonl")
+            os.close(fd)
+            self._owns_file = True
+        else:
+            self._owns_file = False
+        self.path = path
+        # Truncate on creation: a HeapFile owns its contents.
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    # -- writing ----------------------------------------------------------------
+
+    def write_rows(self, rows: Iterable[Sequence[object]]) -> int:
+        """Append ``rows``, packing them into pages.  Returns the tuple count."""
+        self._check_open()
+        count = 0
+        with open(self.path, "a", encoding="utf-8") as handle:
+            buffer: List[str] = []
+            buffer_bytes = 0
+            offset = handle.tell()
+            for row in rows:
+                encoded = json.dumps(list(row), default=str)
+                if buffer and buffer_bytes + len(encoded) + 1 > self.page_size:
+                    offset = self._flush_page(handle, buffer, offset)
+                    buffer, buffer_bytes = [], 0
+                buffer.append(encoded)
+                buffer_bytes += len(encoded) + 1
+                count += 1
+            if buffer:
+                self._flush_page(handle, buffer, offset)
+        self.stats.tuples_written += count
+        return count
+
+    def _flush_page(self, handle, buffer: List[str], offset: int) -> int:
+        payload = "\n".join(buffer) + "\n"
+        handle.write(payload)
+        self._page_offsets.append(offset)
+        self._page_tuple_counts.append(len(buffer))
+        self.stats.pages_written += 1
+        return offset + len(payload.encode("utf-8"))
+
+    # -- reading ----------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[object, ...]]:
+        """Sequentially scan all pages, yielding rows as tuples."""
+        self._check_open()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for offset, tuple_count in zip(self._page_offsets, self._page_tuple_counts):
+                handle.seek(offset)
+                self.stats.pages_read += 1
+                for _ in range(tuple_count):
+                    line = handle.readline()
+                    if not line:
+                        raise StorageError(f"truncated heap file {self.path!r}")
+                    self.stats.tuples_read += 1
+                    yield tuple(json.loads(line))
+
+    # -- metadata ----------------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_offsets)
+
+    @property
+    def tuple_count(self) -> int:
+        return sum(self._page_tuple_counts)
+
+    def __len__(self) -> int:
+        return self.tuple_count
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Delete the backing file if this heap file created it."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_file and os.path.exists(self.path):
+            os.remove(self.path)
+
+    def __enter__(self) -> "HeapFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("heap file is closed")

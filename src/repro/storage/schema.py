@@ -1,0 +1,283 @@
+"""Typed relation schemas with column roles.
+
+SPROUT's data model extends ordinary relations with two distinguished column
+kinds: *variable* columns (``V``) holding Boolean random-variable identifiers
+and *probability* columns (``P``) holding the marginal probability of the
+variable being true.  During query evaluation these columns are copied along
+like ordinary data columns; the confidence operator later needs to know which
+columns are variables/probabilities and which base table each pair came from.
+
+This module provides :class:`Attribute` (a named, typed column with a
+:class:`ColumnRole` and a ``source`` table) and :class:`Schema` (an ordered,
+name-addressable collection of attributes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+
+__all__ = ["ColumnRole", "Attribute", "Schema", "VarProbPair"]
+
+
+class ColumnRole(enum.Enum):
+    """Role of a column in a (probabilistic) relation."""
+
+    DATA = "data"
+    VAR = "var"
+    PROB = "prob"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnRole.{self.name}"
+
+
+#: Python types accepted for each declared dtype.
+_DTYPE_PYTYPES = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "date": (str,),  # ISO yyyy-mm-dd strings sort correctly lexicographically
+}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name.  Join attributes are matched by name across tables
+        (the paper assumes equi-join attributes share their name).
+    dtype:
+        One of ``int``, ``float``, ``str``, ``bool``, ``date``.
+    role:
+        Whether the column holds data, a random-variable id, or a probability.
+    source:
+        For VAR/PROB columns, the base-table name the pair originates from.
+        For DATA columns this is optional provenance information.
+    """
+
+    name: str
+    dtype: str = "str"
+    role: ColumnRole = ColumnRole.DATA
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPE_PYTYPES:
+            raise SchemaError(
+                f"unknown dtype {self.dtype!r} for attribute {self.name!r}; "
+                f"expected one of {sorted(_DTYPE_PYTYPES)}"
+            )
+        if self.role is not ColumnRole.DATA and self.source is None:
+            raise SchemaError(
+                f"attribute {self.name!r} with role {self.role.value} needs a source table"
+            )
+
+    def accepts(self, value: object) -> bool:
+        """Return True if ``value`` is acceptable for this attribute (None allowed)."""
+        if value is None:
+            return True
+        if self.dtype == "float" and isinstance(value, bool):
+            return False
+        return isinstance(value, _DTYPE_PYTYPES[self.dtype])
+
+    def renamed(self, name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name."""
+        return replace(self, name=name)
+
+    def with_source(self, source: str) -> "Attribute":
+        """Return a copy of this attribute with ``source`` set."""
+        return replace(self, source=source)
+
+    def __str__(self) -> str:
+        suffix = ""
+        if self.role is not ColumnRole.DATA:
+            suffix = f"[{self.role.value}:{self.source}]"
+        return f"{self.name}:{self.dtype}{suffix}"
+
+
+@dataclass(frozen=True)
+class VarProbPair:
+    """Positions of the variable and probability column for one base table."""
+
+    source: str
+    var_index: int
+    prob_index: int
+    var_name: str
+    prob_name: str
+
+
+def var_column_name(table: str) -> str:
+    """Canonical name of the variable column contributed by ``table``."""
+    return f"{table}.V"
+
+
+def prob_column_name(table: str) -> str:
+    """Canonical name of the probability column contributed by ``table``."""
+    return f"{table}.P"
+
+
+class Schema:
+    """An ordered collection of :class:`Attribute` with name-based lookup.
+
+    Schemas are immutable; all transformation methods return new schemas.
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        index = {}
+        for position, attribute in enumerate(attrs):
+            if attribute.name in index:
+                raise SchemaError(f"duplicate attribute name {attribute.name!r} in schema")
+            index[attribute.name] = position
+        self._attributes: Tuple[Attribute, ...] = attrs
+        self._index = index
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def of(cls, *specs: str, source: Optional[str] = None) -> "Schema":
+        """Build a schema from ``"name:dtype"`` strings (dtype defaults to str)."""
+        attributes = []
+        for spec in specs:
+            name, _, dtype = spec.partition(":")
+            attributes.append(Attribute(name, dtype or "str", source=source))
+        return cls(attributes)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __getitem__(self, item) -> Attribute:
+        if isinstance(item, str):
+            return self._attributes[self.index_of(item)]
+        return self._attributes[item]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(str(a) for a in self._attributes) + ")"
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute ``name``; raise SchemaError if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def indices_of(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Return the positions of the given attribute names, in order."""
+        return tuple(self.index_of(name) for name in names)
+
+    def data_attributes(self) -> List[Attribute]:
+        """Attributes with role DATA, in schema order."""
+        return [a for a in self._attributes if a.role is ColumnRole.DATA]
+
+    def data_names(self) -> List[str]:
+        return [a.name for a in self.data_attributes()]
+
+    def var_prob_pairs(self) -> List[VarProbPair]:
+        """Variable/probability column pairs, grouped by source table.
+
+        The pairs are returned in the order the variable columns appear in the
+        schema.  A VAR column without a matching PROB column (or vice versa)
+        raises :class:`SchemaError` — the SPROUT data model always keeps them
+        together.
+        """
+        vars_by_source = {}
+        probs_by_source = {}
+        order: List[str] = []
+        for position, attribute in enumerate(self._attributes):
+            if attribute.role is ColumnRole.VAR:
+                if attribute.source in vars_by_source:
+                    raise SchemaError(f"duplicate variable column for table {attribute.source!r}")
+                vars_by_source[attribute.source] = (position, attribute.name)
+                order.append(attribute.source)
+            elif attribute.role is ColumnRole.PROB:
+                if attribute.source in probs_by_source:
+                    raise SchemaError(f"duplicate probability column for table {attribute.source!r}")
+                probs_by_source[attribute.source] = (position, attribute.name)
+        if set(vars_by_source) != set(probs_by_source):
+            missing = set(vars_by_source) ^ set(probs_by_source)
+            raise SchemaError(f"unpaired variable/probability columns for tables {sorted(missing)}")
+        pairs = []
+        for source in order:
+            var_index, var_name = vars_by_source[source]
+            prob_index, prob_name = probs_by_source[source]
+            pairs.append(VarProbPair(source, var_index, prob_index, var_name, prob_name))
+        return pairs
+
+    def sources(self) -> List[str]:
+        """Base tables contributing a variable/probability pair, in order."""
+        return [pair.source for pair in self.var_prob_pairs()]
+
+    # -- transformations -------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names`` (in the given order)."""
+        return Schema(self[name] for name in names)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas; duplicate names raise SchemaError."""
+        return Schema(tuple(self._attributes) + tuple(other.attributes))
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Rename attributes according to ``mapping`` (old name -> new name)."""
+        return Schema(
+            a.renamed(mapping.get(a.name, a.name)) for a in self._attributes
+        )
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Schema without the given attribute names."""
+        dropped = set(names)
+        for name in dropped:
+            self.index_of(name)  # validate
+        return Schema(a for a in self._attributes if a.name not in dropped)
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Schema with every attribute name prefixed by ``prefix`` + '.'."""
+        return Schema(a.renamed(f"{prefix}.{a.name}") for a in self._attributes)
+
+    def validate_row(self, row: Sequence[object]) -> None:
+        """Raise :class:`SchemaError` if ``row`` does not conform to this schema."""
+        if len(row) != len(self._attributes):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity {len(self._attributes)}"
+            )
+        for attribute, value in zip(self._attributes, row):
+            if not attribute.accepts(value):
+                raise SchemaError(
+                    f"value {value!r} is not valid for attribute {attribute}"
+                )

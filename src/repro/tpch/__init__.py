@@ -1,0 +1,47 @@
+"""TPC-H substrate: schema, data generator, probabilistic conversion, queries."""
+
+from repro.tpch.casestudy import QueryClassification, case_study_table, classify_all, classify_query
+from repro.tpch.datagen import TpchData, generate_tpch
+from repro.tpch.probabilistic import make_probabilistic_tpch, probabilistic_tpch
+from repro.tpch.queries import (
+    FIGURE9_KEYS,
+    FIGURE10_KEYS,
+    FIGURE13_KEYS,
+    TpchQuerySpec,
+    all_query_keys,
+    excluded_query_keys,
+    executable_query_keys,
+    query_A,
+    query_B,
+    query_C,
+    query_D,
+    tpch_query,
+)
+from repro.tpch.schema import TPCH_TABLES, tpch_functional_dependencies, tpch_keys, tpch_schema
+
+__all__ = [
+    "FIGURE10_KEYS",
+    "FIGURE13_KEYS",
+    "FIGURE9_KEYS",
+    "QueryClassification",
+    "TPCH_TABLES",
+    "TpchData",
+    "TpchQuerySpec",
+    "all_query_keys",
+    "case_study_table",
+    "classify_all",
+    "classify_query",
+    "excluded_query_keys",
+    "executable_query_keys",
+    "generate_tpch",
+    "make_probabilistic_tpch",
+    "probabilistic_tpch",
+    "query_A",
+    "query_B",
+    "query_C",
+    "query_D",
+    "tpch_functional_dependencies",
+    "tpch_keys",
+    "tpch_query",
+    "tpch_schema",
+]

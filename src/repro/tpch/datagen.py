@@ -1,0 +1,209 @@
+"""A seeded, scaled-down TPC-H data generator (the dbgen stand-in).
+
+The generator reproduces the *structural* properties the experiments depend
+on: cardinality ratios between the tables (orders ≈ 10 × customers,
+lineitems ≈ 4 × orders, four partsupp rows per part, ...), the key/foreign-key
+relationships, skew-free uniform foreign keys, and value domains (dates in
+1992–1998, a handful of market segments, brands, containers, regions and
+nations) that the benchmark queries' selection constants hit with realistic
+selectivities.  It is fully deterministic given a seed, so experiments can be
+re-run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.storage.relation import Relation
+from repro.tpch.schema import TPCH_TABLES, tpch_schema
+
+__all__ = ["TpchData", "generate_tpch", "REGIONS", "NATIONS", "MKT_SEGMENTS"]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: The 25 TPC-H nations with their region index.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+
+MKT_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+ORDER_STATUSES = ["O", "F", "P"]
+RETURN_FLAGS = ["R", "A", "N"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BOX", "MED BAG", "LG CASE", "LG BOX", "JUMBO PKG"]
+BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+TYPES = [
+    f"{a} {b} {c}"
+    for a in ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+    for b in ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+    for c in ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+]
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+]
+
+
+@dataclass
+class TpchData:
+    """The eight generated TPC-H relations, keyed by table name."""
+
+    scale_factor: float
+    seed: int
+    tables: Dict[str, Relation] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.tables[name]
+
+    def row_counts(self) -> Dict[str, int]:
+        return {name: len(relation) for name, relation in self.tables.items()}
+
+
+def _date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _cardinality(table: str, scale_factor: float, minimum: int = 1) -> int:
+    spec = TPCH_TABLES[table]
+    if spec.fixed_cardinality:
+        return spec.rows_per_scale
+    return max(minimum, int(round(spec.rows_per_scale * scale_factor)))
+
+
+def generate_tpch(scale_factor: float = 0.001, seed: int = 7) -> TpchData:
+    """Generate a deterministic TPC-H instance at the given scale factor.
+
+    At scale factor 0.001 this yields roughly 10 suppliers, 150 customers,
+    200 parts, 800 partsupp rows, 1 500 orders, and 6 000 lineitems — the same
+    ratios as the 1 GB instance used in the paper, shrunk to what a pure-Python
+    engine handles in benchmark time.
+    """
+    rng = random.Random(seed)
+    data = TpchData(scale_factor=scale_factor, seed=seed)
+
+    # region / nation -----------------------------------------------------------
+    region = Relation("region", tpch_schema("region"))
+    for index, name in enumerate(REGIONS):
+        region.append((index, name, f"region {name.lower()}"))
+    data.tables["region"] = region
+
+    nation = Relation("nation", tpch_schema("nation"))
+    for index, (name, region_index) in enumerate(NATIONS):
+        nation.append((index, name, region_index, f"nation {name.lower()}"))
+    data.tables["nation"] = nation
+
+    # supplier -------------------------------------------------------------------
+    # Low-cardinality categorical columns cycle deterministically through their
+    # domains so that every selection constant used by the benchmark queries
+    # matches a non-empty set even at very small scale factors.
+    supplier_count = _cardinality("supplier", scale_factor)
+    supplier = Relation("supplier", tpch_schema("supplier"))
+    for key in range(1, supplier_count + 1):
+        supplier.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                f"{rng.randint(1, 999)} supply street",
+                (key - 1) % len(NATIONS),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+        )
+    data.tables["supplier"] = supplier
+
+    # customer -------------------------------------------------------------------
+    customer_count = _cardinality("customer", scale_factor)
+    customer = Relation("customer", tpch_schema("customer"))
+    for key in range(1, customer_count + 1):
+        customer.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                (key - 1) % len(NATIONS),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                MKT_SEGMENTS[(key - 1) % len(MKT_SEGMENTS)],
+            )
+        )
+    data.tables["customer"] = customer
+
+    # part -----------------------------------------------------------------------
+    part_count = _cardinality("part", scale_factor)
+    part = Relation("part", tpch_schema("part"))
+    for key in range(1, part_count + 1):
+        name = " ".join(rng.sample(PART_NAME_WORDS, 3))
+        part.append(
+            (
+                key,
+                name,
+                BRANDS[(key - 1) % len(BRANDS)],
+                rng.choice(TYPES),
+                1 + (key - 1) % 50,
+                CONTAINERS[(key - 1) % len(CONTAINERS)],
+                round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+            )
+        )
+    data.tables["part"] = part
+
+    # partsupp: four suppliers per part -------------------------------------------
+    partsupp = Relation("partsupp", tpch_schema("partsupp"))
+    if supplier_count > 0:
+        for part_key in range(1, part_count + 1):
+            suppliers = {1 + (part_key + offset) % supplier_count for offset in range(4)}
+            for supp_key in sorted(suppliers):
+                partsupp.append(
+                    (
+                        part_key,
+                        supp_key,
+                        rng.randint(1, 9999),
+                        round(rng.uniform(1.0, 1000.0), 2),
+                    )
+                )
+    data.tables["partsupp"] = partsupp
+
+    # orders ----------------------------------------------------------------------
+    order_count = _cardinality("orders", scale_factor)
+    orders = Relation("orders", tpch_schema("orders"))
+    for key in range(1, order_count + 1):
+        orders.append(
+            (
+                key,
+                rng.randint(1, customer_count),
+                ORDER_STATUSES[(key - 1) % len(ORDER_STATUSES)],
+                round(rng.uniform(850.0, 500_000.0), 2),
+                _date(rng),
+                rng.choice(ORDER_PRIORITIES),
+            )
+        )
+    data.tables["orders"] = orders
+
+    # lineitem: one to seven lines per order ----------------------------------------
+    lineitem = Relation("lineitem", tpch_schema("lineitem"))
+    for order_key in range(1, order_count + 1):
+        for line_number in range(1, rng.randint(1, 7) + 1):
+            lineitem.append(
+                (
+                    order_key,
+                    rng.randint(1, part_count),
+                    rng.randint(1, supplier_count),
+                    line_number,
+                    rng.randint(1, 50),
+                    round(rng.uniform(900.0, 105_000.0), 2),
+                    round(rng.choice([0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1]), 2),
+                    rng.choice(RETURN_FLAGS),
+                    _date(rng),
+                    rng.choice(SHIP_MODES),
+                )
+            )
+    data.tables["lineitem"] = lineitem
+
+    return data

@@ -1,0 +1,552 @@
+"""Conjunctive variants of the TPC-H queries used in the paper's evaluation.
+
+Following Section VI, each TPC-H query is reduced to its largest subquery
+without aggregations and without inequality joins, keeping the ``conf()``
+aggregation.  For every query we register
+
+* the non-Boolean flavour (keyed ``"1"`` .. ``"22"``) with a projection list
+  derived from the original selection attributes, and
+* the Boolean flavour (keyed ``"B1"`` .. ``"B22"``) obtained by dropping the
+  projection list,
+
+plus the four hand-written queries of Figures 11 and 12 (``A``, ``B``, ``C``,
+``D``).  Queries 5, 8, 9 are non-hierarchical even under the TPC-H functional
+dependencies (they join lineitem/orders with two non-key attributes that are
+not selection attributes), query 13 is an outer join, and query 22 degenerates
+to a plain selection — these five are registered as *excluded*, matching the
+paper's count of 17 (+ Boolean variants) evaluated queries.
+
+Selection constants are chosen so that the generated data
+(:mod:`repro.tpch.datagen`) yields selectivities comparable to the original
+query parameters (e.g. one market segment out of five, one brand out of 25,
+one named customer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.algebra.expressions import Comparison, Conjunction, Disjunction, Predicate, conjunction_of
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+
+__all__ = [
+    "TpchQuerySpec",
+    "tpch_query",
+    "all_query_keys",
+    "executable_query_keys",
+    "excluded_query_keys",
+    "FIGURE9_KEYS",
+    "FIGURE10_KEYS",
+    "FIGURE13_KEYS",
+    "query_A",
+    "query_B",
+    "query_C",
+    "query_D",
+]
+
+
+@dataclass(frozen=True)
+class TpchQuerySpec:
+    """One registered query variant."""
+
+    key: str
+    query: ConjunctiveQuery
+    executable: bool = True
+    needs_fds: bool = False
+    notes: str = ""
+
+
+_REGISTRY: Dict[str, TpchQuerySpec] = {}
+
+#: Queries of Fig. 9 (lazy vs. eager vs. MystiQ plans).
+FIGURE9_KEYS = ["3", "10", "15", "16", "B17", "18", "20", "21"]
+
+#: Queries of Fig. 10 (lazy plans for the remaining 18 queries).
+FIGURE10_KEYS = [
+    "1", "B1", "2", "B3", "4", "B4", "B6", "7", "B10", "11",
+    "B11", "12", "B12", "B14", "B15", "B16", "B18", "B19",
+]
+
+#: Queries of Fig. 13 (effect of functional dependencies).
+FIGURE13_KEYS = ["2", "7", "11", "B3"]
+
+
+def _register(
+    key: str,
+    atoms: Sequence[Atom],
+    projection: Sequence[str] = (),
+    selections: Optional[Predicate] = None,
+    executable: bool = True,
+    needs_fds: bool = False,
+    notes: str = "",
+    boolean_variant: bool = True,
+) -> None:
+    query = ConjunctiveQuery(f"Q{key}", atoms, projection=projection, selections=selections)
+    _REGISTRY[key] = TpchQuerySpec(
+        key=key, query=query, executable=executable, needs_fds=needs_fds, notes=notes
+    )
+    if boolean_variant and projection:
+        boolean = query.boolean_version(f"QB{key}")
+        _REGISTRY[f"B{key}"] = TpchQuerySpec(
+            key=f"B{key}",
+            query=boolean,
+            executable=executable,
+            needs_fds=needs_fds,
+            notes=f"Boolean variant of query {key}. {notes}".strip(),
+        )
+
+
+def _eq(attribute: str, value: object) -> Comparison:
+    return Comparison(attribute, "=", value)
+
+
+def _build_registry() -> None:
+    # Q1: pricing summary report — single table scan over lineitem.
+    _register(
+        "1",
+        [Atom("lineitem", ["l_returnflag", "l_shipdate"])],
+        projection=["l_returnflag"],
+        selections=Comparison("l_shipdate", "<=", "1998-09-02"),
+        notes="Single-table query; MystiQ's log aggregation fails on its long disjunctions.",
+    )
+
+    # Q2: minimum cost supplier (without the aggregation subquery).
+    _register(
+        "2",
+        [
+            Atom("part", ["partkey", "p_size", "p_name"]),
+            Atom("partsupp", ["partkey", "suppkey", "ps_supplycost"]),
+            Atom("supplier", ["suppkey", "s_name", "s_nationkey", "s_acctbal"]),
+            Atom("nation_s", ["s_nationkey", "ns_name", "regionkey"]),
+            Atom("region", ["regionkey", "r_name"]),
+        ],
+        projection=["s_name", "ns_name"],
+        selections=conjunction_of([_eq("p_size", 15), _eq("r_name", "EUROPE")]),
+        needs_fds=True,
+        notes="Hierarchical FD-reduct derived from the supplier name key (Section VI).",
+    )
+
+    # Q3: shipping priority.
+    _register(
+        "3",
+        [
+            Atom("customer", ["custkey", "c_mktsegment"]),
+            Atom("orders", ["orderkey", "custkey", "o_orderdate"]),
+            Atom("lineitem", ["orderkey", "l_shipdate"]),
+        ],
+        projection=["orderkey", "o_orderdate"],
+        selections=conjunction_of(
+            [_eq("c_mktsegment", "BUILDING"), Comparison("o_orderdate", "<", "1995-03-15")]
+        ),
+        notes="The key orderkey is in the projection list, which lifts MystiQ's join-order restriction; "
+        "the Boolean variant B3 needs the orderkey→custkey FD.",
+    )
+
+    # Q4: order priority checking (exists lineitem).
+    _register(
+        "4",
+        [
+            Atom("orders", ["orderkey", "o_orderdate", "o_orderpriority"]),
+            Atom("lineitem", ["orderkey"]),
+        ],
+        projection=["o_orderpriority"],
+        selections=conjunction_of(
+            [
+                Comparison("o_orderdate", ">=", "1993-07-01"),
+                Comparison("o_orderdate", "<", "1993-10-01"),
+            ]
+        ),
+    )
+
+    # Q5: local supplier volume — joins lineitem with supplier and orders on
+    # different non-key attributes plus the customer-nation = supplier-nation
+    # condition: non-hierarchical even with FDs (the attribute names below are
+    # the paper's abstract ones; the query is registered for the case study
+    # only and is not executable on the generated data).
+    _register(
+        "5",
+        [
+            Atom("customer", ["custkey", "c_nationkey"]),
+            Atom("orders", ["orderkey", "custkey", "o_orderdate"]),
+            Atom("lineitem", ["orderkey", "suppkey"]),
+            Atom("supplier", ["suppkey", "c_nationkey"]),
+            Atom("nation_c", ["c_nationkey", "nc_name", "regionkey"]),
+            Atom("region", ["regionkey", "r_name"]),
+        ],
+        projection=["nc_name"],
+        selections=_eq("r_name", "ASIA"),
+        executable=False,
+        notes="Excluded: lineitem joins orders and supplier on two non-key attributes "
+        "that are not selection attributes (#P-hard pattern).",
+        boolean_variant=False,
+    )
+
+    # Q6: forecasting revenue change — single table, Boolean only.
+    _register(
+        "6",
+        [Atom("lineitem", ["l_shipdate", "l_discount", "l_quantity"])],
+        projection=["l_discount"],
+        selections=conjunction_of(
+            [
+                Comparison("l_shipdate", ">=", "1994-01-01"),
+                Comparison("l_shipdate", "<", "1995-01-01"),
+                Comparison("l_discount", ">=", 0.05),
+                Comparison("l_discount", "<=", 0.07),
+                Comparison("l_quantity", "<", 24),
+            ]
+        ),
+    )
+
+    # Q7: volume shipping — two copies of nation (mutually exclusive selections).
+    _register(
+        "7",
+        [
+            Atom("supplier", ["suppkey", "s_nationkey"]),
+            Atom("lineitem", ["orderkey", "suppkey", "l_shipdate"]),
+            Atom("orders", ["orderkey", "custkey"]),
+            Atom("customer", ["custkey", "c_nationkey"]),
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+            Atom("nation_c", ["c_nationkey", "nc_name"]),
+        ],
+        projection=["suppkey", "ns_name", "nc_name"],
+        selections=conjunction_of(
+            [
+                _eq("ns_name", "FRANCE"),
+                _eq("nc_name", "GERMANY"),
+                Comparison("l_shipdate", ">=", "1995-01-01"),
+                Comparison("l_shipdate", "<=", "1996-12-31"),
+            ]
+        ),
+        needs_fds=True,
+        notes="The two nation copies select disjoint tuples, so the self-join is unproblematic "
+        "(Section IV); the signature is Nation1 Supp (Nation2 (Cust (Ord Item*)*)*)* (Example V.9).",
+    )
+
+    # Q8: national market share — excluded (same hard pattern as Q5).
+    _register(
+        "8",
+        [
+            Atom("part", ["partkey", "p_type"]),
+            Atom("lineitem", ["orderkey", "partkey", "suppkey"]),
+            Atom("supplier", ["suppkey", "s_nationkey"]),
+            Atom("orders", ["orderkey", "custkey", "o_orderdate"]),
+            Atom("customer", ["custkey", "c_nationkey"]),
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+            Atom("nation_c", ["c_nationkey", "nc_name", "regionkey"]),
+            Atom("region", ["regionkey", "r_name"]),
+        ],
+        projection=["o_orderdate"],
+        selections=conjunction_of([_eq("r_name", "AMERICA"), _eq("p_type", "ECONOMY ANODIZED STEEL")]),
+        executable=False,
+        notes="Excluded: lineitem joins part/supplier/orders on three attributes pairwise "
+        "not nested (#P-hard pattern).",
+        boolean_variant=False,
+    )
+
+    # Q9: product type profit measure — excluded.
+    _register(
+        "9",
+        [
+            Atom("part", ["partkey", "p_name"]),
+            Atom("lineitem", ["orderkey", "partkey", "suppkey"]),
+            Atom("supplier", ["suppkey", "s_nationkey"]),
+            Atom("partsupp", ["partkey", "suppkey"]),
+            Atom("orders", ["orderkey", "o_orderdate"]),
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+        ],
+        projection=["ns_name", "o_orderdate"],
+        executable=False,
+        notes="Excluded: lineitem joins part, supplier and orders on non-key attributes "
+        "outside the projection list.",
+        boolean_variant=False,
+    )
+
+    # Q10: returned item reporting.
+    _register(
+        "10",
+        [
+            Atom("customer", ["custkey", "c_name", "c_acctbal", "c_nationkey"]),
+            Atom("orders", ["orderkey", "custkey", "o_orderdate"]),
+            Atom("lineitem", ["orderkey", "l_returnflag"]),
+            Atom("nation_c", ["c_nationkey", "nc_name"]),
+        ],
+        projection=["custkey", "c_name", "c_acctbal", "nc_name"],
+        selections=conjunction_of(
+            [
+                Comparison("o_orderdate", ">=", "1993-10-01"),
+                Comparison("o_orderdate", "<", "1994-01-01"),
+                _eq("l_returnflag", "R"),
+            ]
+        ),
+        notes="MystiQ's safe plan must join orders with lineitem first (restrictive order).",
+    )
+
+    # Q11: important stock identification.
+    _register(
+        "11",
+        [
+            Atom("partsupp", ["partkey", "suppkey", "ps_supplycost", "ps_availqty"]),
+            Atom("supplier", ["suppkey", "s_nationkey"]),
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+        ],
+        projection=["partkey"],
+        selections=_eq("ns_name", "GERMANY"),
+        needs_fds=True,
+        notes="Needs the suppkey→nationkey FD to become hierarchical (Section VI).",
+    )
+
+    # Q12: shipping modes and order priority.
+    _register(
+        "12",
+        [
+            Atom("orders", ["orderkey", "o_orderpriority"]),
+            Atom("lineitem", ["orderkey", "l_shipmode", "l_shipdate"]),
+        ],
+        projection=["l_shipmode"],
+        selections=conjunction_of(
+            [
+                _eq("l_shipmode", "MAIL"),
+                Comparison("l_shipdate", ">=", "1994-01-01"),
+                Comparison("l_shipdate", "<", "1995-01-01"),
+            ]
+        ),
+    )
+
+    # Q13: customer distribution — a left outer join, outside the query class.
+    _register(
+        "13",
+        [Atom("customer", ["custkey", "c_name"]), Atom("orders", ["orderkey", "custkey"])],
+        projection=["custkey"],
+        executable=False,
+        notes="Excluded: the original query is a left outer join on customer and orders.",
+        boolean_variant=False,
+    )
+
+    # Q14: promotion effect.
+    _register(
+        "14",
+        [
+            Atom("lineitem", ["orderkey", "partkey", "l_shipdate"]),
+            Atom("part", ["partkey", "p_type"]),
+        ],
+        projection=["p_type"],
+        selections=conjunction_of(
+            [
+                Comparison("l_shipdate", ">=", "1995-09-01"),
+                Comparison("l_shipdate", "<", "1995-10-01"),
+            ]
+        ),
+    )
+
+    # Q15: top supplier (view inlined, aggregation dropped).
+    _register(
+        "15",
+        [
+            Atom("lineitem", ["orderkey", "suppkey", "l_shipdate"]),
+            Atom("supplier", ["suppkey", "s_name"]),
+        ],
+        projection=["suppkey", "s_name"],
+        selections=conjunction_of(
+            [
+                Comparison("l_shipdate", ">=", "1996-01-01"),
+                Comparison("l_shipdate", "<", "1996-04-01"),
+            ]
+        ),
+    )
+
+    # Q16: parts/supplier relationship.
+    _register(
+        "16",
+        [
+            Atom("partsupp", ["partkey", "suppkey"]),
+            Atom("part", ["partkey", "p_brand", "p_type", "p_size"]),
+        ],
+        projection=["p_brand", "p_type", "p_size"],
+        selections=conjunction_of(
+            [Comparison("p_brand", "!=", "Brand#45"), _eq("p_size", 49)]
+        ),
+    )
+
+    # Q17: small-quantity-order revenue.
+    _register(
+        "17",
+        [
+            Atom("lineitem", ["orderkey", "partkey", "l_quantity"]),
+            Atom("part", ["partkey", "p_brand", "p_container"]),
+        ],
+        projection=["p_brand"],
+        selections=conjunction_of([_eq("p_brand", "Brand#23"), _eq("p_container", "MED BOX")]),
+        notes="B17 is the Boolean flavour used in Fig. 9: eager plans aggregate the very large "
+        "lineitem table although the selective join partner eliminates most of it.",
+    )
+
+    # Q18: large volume customer (the paper's running example).
+    _register(
+        "18",
+        [
+            Atom("customer", ["custkey", "c_name"]),
+            Atom("orders", ["orderkey", "custkey", "o_orderdate", "o_totalprice"]),
+            Atom("lineitem", ["orderkey", "l_quantity"]),
+        ],
+        projection=["c_name", "o_orderdate", "o_totalprice"],
+        selections=_eq("c_name", "Customer#000000001"),
+        needs_fds=True,
+        notes="Very selective condition on customer; the lazy plan joins it first while "
+        "MystiQ must start with the unselective orders ⋈ lineitem join.",
+    )
+
+    # Q19: discounted revenue — disjunction of three mutually exclusive branches.
+    branch = lambda brand, container, size: Conjunction(  # noqa: E731 - compact branch builder
+        [_eq("p_brand", brand), _eq("p_container", container), Comparison("p_size", "<=", size)]
+    )
+    _register(
+        "19",
+        [
+            Atom("lineitem", ["orderkey", "partkey", "l_quantity"]),
+            Atom("part", ["partkey", "p_brand", "p_container", "p_size"]),
+        ],
+        projection=["p_brand"],
+        selections=Disjunction(
+            [
+                branch("Brand#12", "SM CASE", 5),
+                branch("Brand#23", "MED BOX", 10),
+                branch("Brand#34", "LG CASE", 15),
+            ]
+        ),
+        notes="The three disjuncts select disjoint sets of independent tuples "
+        "(mutually exclusive brands), so each can be processed as a hierarchical query.",
+    )
+
+    # Q20: potential part promotion.
+    _register(
+        "20",
+        [
+            Atom("supplier", ["suppkey", "s_name", "s_nationkey"]),
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+            Atom("partsupp", ["partkey", "suppkey", "ps_availqty"]),
+            Atom("part", ["partkey", "p_size"]),
+        ],
+        projection=["s_name"],
+        selections=conjunction_of([_eq("ns_name", "CANADA"), _eq("p_size", 15)]),
+        needs_fds=True,
+        notes="Hierarchical only through the supplier-name key FD.",
+    )
+
+    # Q21: suppliers who kept orders waiting.
+    _register(
+        "21",
+        [
+            Atom("supplier", ["suppkey", "s_name", "s_nationkey"]),
+            Atom("lineitem", ["orderkey", "suppkey"]),
+            Atom("orders", ["orderkey", "o_orderstatus"]),
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+        ],
+        projection=["s_name"],
+        selections=conjunction_of([_eq("o_orderstatus", "F"), _eq("ns_name", "SAUDI ARABIA")]),
+        needs_fds=True,
+        notes="Hierarchical only through the supplier-name key FD.",
+    )
+
+    # Q22: global sales opportunity — degenerates to a plain selection.
+    _register(
+        "22",
+        [Atom("customer", ["custkey", "c_name", "c_acctbal"])],
+        projection=["c_name"],
+        selections=Comparison("c_acctbal", ">", 0.0),
+        executable=False,
+        notes="Excluded: removing the aggregation subqueries and inequality joins leaves a "
+        "simple selection, which the paper does not evaluate.",
+        boolean_variant=False,
+    )
+
+
+_build_registry()
+
+
+def tpch_query(key: str) -> TpchQuerySpec:
+    """Look up a registered query variant by key (e.g. ``"18"`` or ``"B3"``)."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise QueryError(
+            f"unknown TPC-H query key {key!r}; known keys: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_query_keys() -> List[str]:
+    return list(_REGISTRY)
+
+
+def executable_query_keys() -> List[str]:
+    return [key for key, spec in _REGISTRY.items() if spec.executable]
+
+
+def excluded_query_keys() -> List[str]:
+    return [key for key, spec in _REGISTRY.items() if not spec.executable]
+
+
+# ---------------------------------------------------------------------------
+# The hand-written queries of Figures 11 and 12
+# ---------------------------------------------------------------------------
+
+
+def query_A(acctbal_threshold: float) -> ConjunctiveQuery:
+    """Fig. 11 query A: ``π_name(Nation ⋈ σ_acctbal<ct(Supp) ⋈ Psupp)``."""
+    return ConjunctiveQuery(
+        "A",
+        [
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+            Atom("supplier", ["suppkey", "s_nationkey", "s_acctbal"]),
+            Atom("partsupp", ["partkey", "suppkey"]),
+        ],
+        projection=["ns_name"],
+        selections=Comparison("s_acctbal", "<", acctbal_threshold),
+    )
+
+
+def query_B(price_threshold: float, date: str = "1996-09-01") -> ConjunctiveQuery:
+    """Fig. 11 query B: ``π_ckey,name(Cust ⋈ σ_odate<d, price<ct(Ord))``."""
+    return ConjunctiveQuery(
+        "B",
+        [
+            Atom("customer", ["custkey", "c_name"]),
+            Atom("orders", ["orderkey", "custkey", "o_orderdate", "o_totalprice"]),
+        ],
+        projection=["custkey", "c_name"],
+        selections=conjunction_of(
+            [
+                Comparison("o_orderdate", "<", date),
+                Comparison("o_totalprice", "<", price_threshold),
+            ]
+        ),
+    )
+
+
+def query_C(date: str = "1992-01-31") -> ConjunctiveQuery:
+    """Fig. 12 query C: ``π_ckey,name(Cust ⋈ σ_odate<d(Ord) ⋈ Item)``."""
+    return ConjunctiveQuery(
+        "C",
+        [
+            Atom("customer", ["custkey", "c_name"]),
+            Atom("orders", ["orderkey", "custkey", "o_orderdate"]),
+            Atom("lineitem", ["orderkey", "l_quantity"]),
+        ],
+        projection=["custkey", "c_name"],
+        selections=Comparison("o_orderdate", "<", date),
+    )
+
+
+def query_D(acctbal_threshold: float = 600.0) -> ConjunctiveQuery:
+    """Fig. 12 query D: ``π_nkey(Nation ⋈ σ_acctbal<600(Supp) ⋈ Psupp)``."""
+    return ConjunctiveQuery(
+        "D",
+        [
+            Atom("nation_s", ["s_nationkey", "ns_name"]),
+            Atom("supplier", ["suppkey", "s_nationkey", "s_acctbal"]),
+            Atom("partsupp", ["partkey", "suppkey"]),
+        ],
+        projection=["s_nationkey"],
+        selections=Comparison("s_acctbal", "<", acctbal_threshold),
+    )

@@ -1,0 +1,170 @@
+"""TPC-H schema, keys, and functional dependencies.
+
+The experiments of Section VI/VII run on a tuple-independent probabilistic
+version of TPC-H.  We keep the eight standard tables with their key and
+foreign-key structure.  Column names follow the query model's convention that
+*join* attributes carry the same name in every table that joins on them
+(``custkey``, ``orderkey``, ``partkey``, ``suppkey``, ``regionkey``), while
+non-join attributes carry a table prefix so natural joins never pick them up
+accidentally.  The nation key is referenced by both supplier and customer;
+because several queries (notably query 7) need the two references to point to
+*different* nation tuples, supplier carries ``s_nationkey``, customer carries
+``c_nationkey``, and the probabilistic database exposes two renamed copies of
+nation (``nation_s``, ``nation_c``) that share the base table's random
+variables (see :func:`repro.tpch.probabilistic.make_probabilistic_tpch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.storage.catalog import FunctionalDependency
+from repro.storage.schema import Schema
+
+__all__ = ["TableSpec", "TPCH_TABLES", "tpch_schema", "tpch_keys", "tpch_functional_dependencies"]
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Schema-level description of one TPC-H table."""
+
+    name: str
+    columns: Tuple[str, ...]  # "name:dtype" specs
+    primary_key: Tuple[str, ...]
+    #: rows per unit scale factor (TPC-H 2.7 cardinalities)
+    rows_per_scale: int
+    fixed_cardinality: bool = False  # region/nation do not scale
+
+
+TPCH_TABLES: Dict[str, TableSpec] = {
+    "region": TableSpec(
+        name="region",
+        columns=("regionkey:int", "r_name:str", "r_comment:str"),
+        primary_key=("regionkey",),
+        rows_per_scale=5,
+        fixed_cardinality=True,
+    ),
+    "nation": TableSpec(
+        name="nation",
+        columns=("nationkey:int", "n_name:str", "regionkey:int", "n_comment:str"),
+        primary_key=("nationkey",),
+        rows_per_scale=25,
+        fixed_cardinality=True,
+    ),
+    "supplier": TableSpec(
+        name="supplier",
+        columns=(
+            "suppkey:int",
+            "s_name:str",
+            "s_address:str",
+            "s_nationkey:int",
+            "s_acctbal:float",
+        ),
+        primary_key=("suppkey",),
+        rows_per_scale=10_000,
+    ),
+    "customer": TableSpec(
+        name="customer",
+        columns=(
+            "custkey:int",
+            "c_name:str",
+            "c_nationkey:int",
+            "c_acctbal:float",
+            "c_mktsegment:str",
+        ),
+        primary_key=("custkey",),
+        rows_per_scale=150_000,
+    ),
+    "part": TableSpec(
+        name="part",
+        columns=(
+            "partkey:int",
+            "p_name:str",
+            "p_brand:str",
+            "p_type:str",
+            "p_size:int",
+            "p_container:str",
+            "p_retailprice:float",
+        ),
+        primary_key=("partkey",),
+        rows_per_scale=200_000,
+    ),
+    "partsupp": TableSpec(
+        name="partsupp",
+        columns=("partkey:int", "suppkey:int", "ps_availqty:int", "ps_supplycost:float"),
+        primary_key=("partkey", "suppkey"),
+        rows_per_scale=800_000,
+    ),
+    "orders": TableSpec(
+        name="orders",
+        columns=(
+            "orderkey:int",
+            "custkey:int",
+            "o_orderstatus:str",
+            "o_totalprice:float",
+            "o_orderdate:date",
+            "o_orderpriority:str",
+        ),
+        primary_key=("orderkey",),
+        rows_per_scale=1_500_000,
+    ),
+    "lineitem": TableSpec(
+        name="lineitem",
+        columns=(
+            "orderkey:int",
+            "partkey:int",
+            "suppkey:int",
+            "l_linenumber:int",
+            "l_quantity:int",
+            "l_extendedprice:float",
+            "l_discount:float",
+            "l_returnflag:str",
+            "l_shipdate:date",
+            "l_shipmode:str",
+        ),
+        primary_key=("orderkey", "l_linenumber"),
+        rows_per_scale=6_000_000,
+    ),
+}
+
+
+def tpch_schema(table: str) -> Schema:
+    """Schema of one TPC-H table."""
+    return Schema.of(*TPCH_TABLES[table].columns)
+
+
+def tpch_keys() -> Dict[str, Tuple[str, ...]]:
+    """Primary keys of all TPC-H tables."""
+    return {name: spec.primary_key for name, spec in TPCH_TABLES.items()}
+
+
+def tpch_functional_dependencies() -> List[FunctionalDependency]:
+    """The key FDs of the TPC-H schema (the FDs used throughout Section VI).
+
+    The keys of the nation aliases (``nation_s``, ``nation_c``) are included so
+    that signature refinement works for queries using them; the aliases expose
+    the renamed key columns ``s_nationkey``/``c_nationkey``.
+    """
+    fds: List[FunctionalDependency] = []
+    for name, spec in TPCH_TABLES.items():
+        schema = tpch_schema(name)
+        dependents = [c for c in schema.names if c not in spec.primary_key]
+        if dependents:
+            fds.append(FunctionalDependency(name, spec.primary_key, dependents))
+    fds.append(
+        FunctionalDependency("nation_s", ("s_nationkey",), ("ns_name", "regionkey"))
+    )
+    fds.append(
+        FunctionalDependency("nation_c", ("c_nationkey",), ("nc_name", "regionkey"))
+    )
+    # Candidate keys that hold on TPC-H data by construction: supplier,
+    # customer and nation names embed their keys, so name -> key holds in
+    # every possible world.  Section VI's FD-reducts for queries 2, 18, 20 and
+    # 21 (whose projection lists contain names rather than keys) rely on them.
+    fds.append(FunctionalDependency("supplier", ("s_name",), ("suppkey",)))
+    fds.append(FunctionalDependency("customer", ("c_name",), ("custkey",)))
+    fds.append(FunctionalDependency("nation", ("n_name",), ("nationkey",)))
+    fds.append(FunctionalDependency("nation_s", ("ns_name",), ("s_nationkey",)))
+    fds.append(FunctionalDependency("nation_c", ("nc_name",), ("c_nationkey",)))
+    return fds

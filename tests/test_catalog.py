@@ -1,0 +1,87 @@
+"""Unit tests for the catalog: tables, keys, functional dependencies."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.catalog import Catalog, FunctionalDependency
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    schema = Schema.of("okey:int", "ckey:int", "odate:date")
+    relation = Relation("Ord", schema, [(1, 1, "1995-01-01")])
+    catalog.register_table("Ord", schema, relation=relation, primary_key=["okey"])
+    return catalog
+
+
+class TestFunctionalDependency:
+    def test_str(self):
+        fd = FunctionalDependency("Ord", ["okey"], ["ckey", "odate"])
+        assert str(fd) == "Ord: okey -> ckey,odate"
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(CatalogError):
+            FunctionalDependency("T", [], ["a"])
+        with pytest.raises(CatalogError):
+            FunctionalDependency("T", ["a"], [])
+
+    def test_applies_to(self):
+        fd = FunctionalDependency("Ord", ["okey"], ["ckey"])
+        assert fd.applies_to({"okey", "other"})
+        assert not fd.applies_to({"ckey"})
+
+    def test_equality(self):
+        assert FunctionalDependency("T", ["a"], ["b"]) == FunctionalDependency("T", ("a",), ("b",))
+
+
+class TestCatalog:
+    def test_register_creates_key_fd(self, catalog):
+        fds = catalog.functional_dependencies()
+        assert any(fd.determinant == frozenset({"okey"}) for fd in fds)
+
+    def test_duplicate_table_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.register_table("Ord", Schema.of("x:int"))
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("Nope")
+
+    def test_relation_lookup(self, catalog):
+        assert len(catalog.relation("Ord")) == 1
+        catalog.register_table("Empty", Schema.of("a:int"))
+        with pytest.raises(CatalogError):
+            catalog.relation("Empty")
+
+    def test_set_relation(self, catalog):
+        replacement = Relation("Ord", catalog.table("Ord").schema, [])
+        catalog.set_relation("Ord", replacement)
+        assert len(catalog.relation("Ord")) == 0
+
+    def test_add_key_and_is_key(self, catalog):
+        catalog.add_key("Ord", ["ckey", "odate"])
+        assert catalog.is_key("Ord", ["okey"])
+        assert catalog.is_key("Ord", ["ckey", "odate", "okey"])
+        assert not catalog.is_key("Ord", ["ckey"])
+        assert ("ckey", "odate") in catalog.keys_of("Ord")
+
+    def test_fd_filter_by_table(self, catalog):
+        catalog.add_fd(FunctionalDependency("Other", ["a"], ["b"]))
+        assert all(fd.table == "Ord" for fd in catalog.functional_dependencies(["Ord"]))
+
+    def test_duplicate_fd_ignored(self, catalog):
+        before = len(catalog.functional_dependencies())
+        catalog.add_fd(FunctionalDependency("Ord", ["okey"], ["ckey", "odate"]))
+        catalog.add_fd(FunctionalDependency("Ord", ["okey"], ["ckey", "odate"]))
+        assert len(catalog.functional_dependencies()) == before
+
+    def test_describe_mentions_tables_and_fds(self, catalog):
+        text = catalog.describe()
+        assert "Ord(" in text and "okey -> " in text
+
+    def test_table_names(self, catalog):
+        assert catalog.table_names() == ["Ord"]
+        assert catalog.has_table("Ord") and not catalog.has_table("X")

@@ -1,0 +1,101 @@
+"""Tests for the conf() operator semantics (Fig. 5/6) and scan scheduling."""
+
+import pytest
+
+from repro.query.signature import parse_signature
+from repro.sprout.conf_operator import apply_semantics, grp_statements, reduce_relation
+from repro.sprout.scans import apply_scan_schedule, schedule_scans
+from repro.sprout.engine import SproutEngine
+from repro.sprout.planner import build_answer_plan, project_answer_columns
+
+from conftest import assert_confidences_close, build_paper_database, paper_query
+
+
+def paper_answer_relation():
+    """Materialised answer of the Introduction's query Q with V/P columns."""
+    db = build_paper_database()
+    query = paper_query()
+    engine = SproutEngine(db)
+    plan = build_answer_plan(db, query, engine.planner.lazy_join_order(query))
+    return project_answer_columns(plan, query).to_relation("Q")
+
+
+class TestGrpStatements:
+    def test_unrefined_signature_has_five_aggregations_two_propagations(self):
+        # Example V.1 / Fig. 6: Q1..Q7.
+        statements = grp_statements(parse_signature("(Cust* (Ord* Item*)*)*"))
+        assert len(statements) == 7
+        assert sum(1 for s in statements if s.startswith("aggregate")) == 5
+        assert sum(1 for s in statements if s.startswith("propagate")) == 2
+
+    def test_refined_signature_has_three_aggregations(self):
+        statements = grp_statements(parse_signature("(Cust (Ord Item*)*)*"))
+        assert sum(1 for s in statements if s.startswith("aggregate")) == 3
+
+    def test_item_is_aggregated_before_ord(self):
+        # Fig. 6 evaluates the right part of a concatenation first.
+        statements = grp_statements(parse_signature("(Cust* (Ord* Item*)*)*"))
+        item_position = next(i for i, s in enumerate(statements) if "Item" in s)
+        ord_position = next(i for i, s in enumerate(statements) if "Ord*" in s and "Item" not in s)
+        assert item_position < ord_position
+
+
+class TestApplySemantics:
+    @pytest.mark.parametrize(
+        "signature_text",
+        ["(Cust* (Ord* Item*)*)*", "(Cust (Ord Item*)*)*", "(Cust* (Ord Item*)*)*"],
+    )
+    def test_paper_example_probability(self, signature_text):
+        # Example V.1: the distinct answer tuple has probability 0.0028 under
+        # both the unrefined and the FD-refined signatures.
+        answer = paper_answer_relation()
+        result = apply_semantics(answer, parse_signature(signature_text))
+        assert_confidences_close(result.confidences(), {("1995-01-10",): 0.0028})
+
+    def test_steps_are_recorded_with_row_counts(self):
+        answer = paper_answer_relation()
+        result = apply_semantics(answer, parse_signature("(Cust* (Ord* Item*)*)*"))
+        assert result.aggregation_count == 5
+        assert result.propagation_count == 2
+        assert all(step.rows_in >= step.rows_out for step in result.steps if step.kind == "aggregate")
+
+    def test_reduce_relation_keeps_leader_pair(self):
+        answer = paper_answer_relation()
+        reduced, leader = reduce_relation(answer, parse_signature("(Cust (Ord Item*)*)*"))
+        assert leader == "Cust"
+        pairs = reduced.schema.var_prob_pairs()
+        assert [pair.source for pair in pairs] == ["Cust"]
+        assert len(reduced) == 1
+
+
+class TestScanScheduling:
+    def test_refined_signature_needs_single_scan(self):
+        schedule = schedule_scans(parse_signature("(Cust (Ord Item*)*)*"))
+        assert schedule.total_scans == 1
+        assert schedule.pre_aggregations == []
+
+    def test_unrefined_signature_needs_three_scans(self):
+        # Example V.11: [Ord*] and [Cust*] first, then the final 1scan pass.
+        schedule = schedule_scans(parse_signature("(Cust* (Ord* Item*)*)*"))
+        assert schedule.total_scans == 3
+        aggregated = [step.aggregated_table for step in schedule.pre_aggregations]
+        assert aggregated == ["Ord", "Cust"]
+        assert str(schedule.final_signature) == "(Cust (Ord Item*)*)*"
+        assert "scan" in schedule.describe()
+
+    def test_composite_pre_aggregation(self):
+        schedule = schedule_scans(parse_signature("((R S*)* (U W*)*)*"))
+        assert schedule.total_scans == 2
+        assert str(schedule.pre_aggregations[0].sub_signature) == "(R S*)*"
+
+    def test_apply_scan_schedule_matches_semantics(self):
+        answer = paper_answer_relation()
+        for text in ("(Cust* (Ord* Item*)*)*", "(Cust (Ord Item*)*)*"):
+            signature = parse_signature(text)
+            by_scans, schedule = apply_scan_schedule(answer, signature)
+            by_semantics = apply_semantics(answer, signature)
+            scans_confidences = {
+                tuple(row[:-1]): row[-1] for row in by_scans
+            }
+            assert_confidences_close(scans_confidences, by_semantics.confidences())
+            assert schedule.total_scans >= 1

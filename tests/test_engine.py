@@ -1,0 +1,203 @@
+"""End-to-end tests of the SPROUT engine against possible-worlds enumeration."""
+
+import pytest
+
+from repro.errors import NonHierarchicalQueryError, PlanningError, UnsupportedQueryError
+from repro import Atom, ConjunctiveQuery, ProbabilisticDatabase, SproutEngine
+from repro.algebra import Comparison, Disjunction
+from repro.prob import confidences_by_enumeration
+from repro.sprout import evaluate_deterministic
+from repro.storage import Relation, Schema
+
+from conftest import assert_confidences_close, build_paper_database, paper_query
+
+
+ALL_PLANS = ("lazy", "eager", "hybrid", "lineage")
+
+
+def enumerate_truth(db, query):
+    return confidences_by_enumeration(db, lambda instance: evaluate_deterministic(query, instance))
+
+
+class TestPaperExample:
+    """The Introduction's query Q on the Fig. 1 database: confidence 0.0028."""
+
+    @pytest.mark.parametrize("plan", ALL_PLANS)
+    def test_all_plan_styles(self, paper_db, paper_q, paper_engine, plan):
+        result = paper_engine.evaluate(paper_q, plan=plan)
+        assert_confidences_close(result.confidences(), {("1995-01-10",): 0.0028}, 1e-12)
+
+    @pytest.mark.parametrize("conf_method", ("scans", "semantics"))
+    def test_confidence_methods(self, paper_engine, paper_q, conf_method):
+        result = paper_engine.evaluate(paper_q, conf_method=conf_method)
+        assert result.confidences()[("1995-01-10",)] == pytest.approx(0.0028)
+
+    def test_boolean_confidence(self, paper_engine, paper_q):
+        result = paper_engine.evaluate(paper_q.boolean_version())
+        assert result.boolean_confidence() == pytest.approx(0.0028)
+
+    def test_signatures_with_and_without_fds(self, paper_engine, paper_q):
+        assert str(paper_engine.signature_for(paper_q, use_fds=True)) == "(Cust (Ord Item*)*)*"
+        with_fds = paper_engine.evaluate(paper_q, use_fds=True)
+        without_fds = paper_engine.evaluate(paper_q, use_fds=False)
+        assert with_fds.scans_used <= without_fds.scans_used
+        assert_confidences_close(with_fds.confidences(), without_fds.confidences())
+
+    def test_matches_possible_worlds(self, paper_db, paper_q, paper_engine):
+        truth = enumerate_truth(paper_db, paper_q)
+        assert_confidences_close(paper_engine.evaluate(paper_q).confidences(), truth)
+
+    def test_disk_materialisation_flag(self, paper_engine, paper_q):
+        result = paper_engine.evaluate(paper_q, materialize_to_disk=True)
+        assert result.confidences()[("1995-01-10",)] == pytest.approx(0.0028)
+
+    def test_explicit_join_order(self, paper_engine, paper_q):
+        result = paper_engine.evaluate(paper_q, join_order=["Item", "Ord", "Cust"])
+        assert result.join_order == ["Item", "Ord", "Cust"]
+        assert result.confidences()[("1995-01-10",)] == pytest.approx(0.0028)
+
+
+class TestMoreQueriesAgainstEnumeration:
+    """Several query shapes, every plan style, validated by world enumeration."""
+
+    def queries(self):
+        atoms = paper_query().atoms
+        yield paper_query()
+        yield ConjunctiveQuery("no-selection", atoms, projection=["odate"])
+        yield ConjunctiveQuery("cname-head", atoms, projection=["cname", "odate"])
+        yield ConjunctiveQuery("boolean", atoms)
+        yield ConjunctiveQuery(
+            "two-tables",
+            [Atom("Cust", ["ckey", "cname"]), Atom("Ord", ["okey", "ckey", "odate"])],
+            projection=["cname"],
+        )
+        yield ConjunctiveQuery("single", [Atom("Ord", ["okey", "ckey", "odate"])], projection=["ckey"])
+        yield ConjunctiveQuery(
+            "selection-disjunction",
+            [Atom("Ord", ["okey", "ckey", "odate"])],
+            projection=["ckey"],
+            selections=Disjunction(
+                [Comparison("odate", "<", "1994-01-01"), Comparison("odate", ">", "1996-06-01")]
+            ),
+        )
+
+    @pytest.mark.parametrize("plan", ALL_PLANS)
+    def test_against_enumeration(self, paper_db, plan):
+        engine = SproutEngine(paper_db)
+        for query in self.queries():
+            truth = enumerate_truth(paper_db, query)
+            result = engine.evaluate(query, plan=plan)
+            assert_confidences_close(result.confidences(), truth)
+
+    def test_product_query(self):
+        db = ProbabilisticDatabase("prod")
+        db.add_table(Relation("R", Schema.of("a:int"), [(1,), (2,)]), probabilities=[0.5, 0.5])
+        db.add_table(Relation("S", Schema.of("b:int"), [(7,)]), probabilities=[0.25])
+        query = ConjunctiveQuery("product", [Atom("R", ["a"]), Atom("S", ["b"])])
+        truth = enumerate_truth(db, query)
+        engine = SproutEngine(db)
+        for plan in ALL_PLANS:
+            assert_confidences_close(engine.evaluate(query, plan=plan).confidences(), truth)
+
+    def test_empty_answer(self, paper_db):
+        engine = SproutEngine(paper_db)
+        query = ConjunctiveQuery(
+            "empty",
+            paper_query().atoms,
+            projection=["odate"],
+            selections=Comparison("cname", "=", "Nobody"),
+        )
+        for plan in ALL_PLANS:
+            result = engine.evaluate(query, plan=plan)
+            assert result.confidences() == {}
+        assert engine.evaluate(query.boolean_version()).boolean_confidence() == 0.0
+
+
+class TestHardQueries:
+    def hard_query(self):
+        # Q' of the Introduction: Item without ckey.
+        return ConjunctiveQuery(
+            "Qprime",
+            [
+                Atom("Cust", ["ckey", "cname"]),
+                Atom("Ord", ["okey", "ckey", "odate"]),
+                Atom("Item", ["okey", "discount"]),
+            ],
+            projection=["odate"],
+            selections=Comparison("cname", "=", "Joe"),
+        )
+
+    def test_rejected_without_fds(self, paper_db):
+        engine = SproutEngine(paper_db)
+        db_without_keys = build_paper_database()
+        # paper_db declares okey as key of Ord, which makes Q' tractable; build
+        # a database without that key to exercise the rejection path.
+        fresh = ProbabilisticDatabase("no-keys")
+        for name in ("Cust", "Ord", "Item"):
+            table = db_without_keys.table(name)
+            data = table.relation.project(list(table.data_schema.names))
+            fresh.add_table(data, probabilities=0.5, name=name)
+        engine = SproutEngine(fresh)
+        with pytest.raises(NonHierarchicalQueryError):
+            engine.evaluate(self.hard_query(), plan="lazy")
+        assert not engine.is_tractable(self.hard_query())
+
+    def test_lineage_fallback_still_works(self, paper_db):
+        engine = SproutEngine(paper_db)
+        truth = enumerate_truth(paper_db, self.hard_query())
+        result = engine.evaluate(self.hard_query(), plan="lineage")
+        assert_confidences_close(result.confidences(), truth)
+
+    def test_tractable_with_fd(self, paper_db):
+        # okey -> ckey holds (okey is the key of Ord), so Q' is tractable here.
+        engine = SproutEngine(paper_db)
+        assert engine.is_tractable(self.hard_query())
+        truth = enumerate_truth(paper_db, self.hard_query())
+        for plan in ("lazy", "eager", "hybrid"):
+            assert_confidences_close(
+                engine.evaluate(self.hard_query(), plan=plan).confidences(), truth
+            )
+
+
+class TestEngineValidation:
+    def test_unknown_plan_style(self, paper_engine, paper_q):
+        with pytest.raises(PlanningError):
+            paper_engine.evaluate(paper_q, plan="magic")
+
+    def test_unknown_conf_method(self, paper_engine, paper_q):
+        with pytest.raises(PlanningError):
+            paper_engine.evaluate(paper_q, conf_method="guess")
+
+    def test_cross_table_selection_rejected(self, paper_engine):
+        query = ConjunctiveQuery(
+            "spanning",
+            paper_query().atoms,
+            projection=["odate"],
+            selections=Disjunction(
+                [Comparison("cname", "=", "Joe"), Comparison("discount", ">", 0.3)]
+            ),
+        )
+        with pytest.raises(UnsupportedQueryError):
+            paper_engine.evaluate(query)
+
+    def test_explain(self, paper_engine, paper_q):
+        text = paper_engine.explain(paper_q, plan="lazy")
+        assert "signature" in text and "join order" in text
+        eager_text = paper_engine.explain(paper_q, plan="eager")
+        assert "hierarchy join order" in eager_text
+        lineage_text = paper_engine.explain(paper_q, plan="lineage")
+        assert "lineage" in lineage_text
+
+    def test_summary_and_metrics(self, paper_engine, paper_q):
+        result = paper_engine.evaluate(paper_q)
+        assert result.total_seconds >= 0
+        assert result.answer_rows == 2
+        assert result.distinct_tuples == 1
+        assert "Q" in result.summary()
+
+    def test_boolean_confidence_on_non_boolean_answer(self, paper_engine):
+        query = ConjunctiveQuery("multi", paper_query().atoms, projection=["odate"])
+        result = paper_engine.evaluate(query)
+        assert len(result.confidences()) > 1
+        with pytest.raises(PlanningError):
+            result.boolean_confidence()

@@ -1,0 +1,112 @@
+"""Tests for scalar predicate expressions."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.algebra.expressions import (
+    AttributeComparison,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Negation,
+    TruePredicate,
+    conjunction_of,
+)
+from repro.storage.schema import Schema
+
+
+SCHEMA = Schema.of("a:int", "b:int", "name:str")
+
+
+def both(predicate, row_dict, row_tuple):
+    """Evaluate both the dict and the bound positional form."""
+    bound = predicate.bind(SCHEMA)
+    return predicate.evaluate(row_dict), bound(row_tuple)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [("=", 5, True), ("!=", 5, False), ("<", 6, True), ("<=", 5, True), (">", 5, False), (">=", 5, True)],
+    )
+    def test_operators(self, op, value, expected):
+        predicate = Comparison("a", op, value)
+        evaluated, bound = both(predicate, {"a": 5, "b": 0, "name": "x"}, (5, 0, "x"))
+        assert evaluated is expected and bound is expected
+
+    def test_alias_operators(self):
+        assert Comparison("a", "==", 1).op == "="
+        assert Comparison("a", "<>", 1).op == "!="
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            Comparison("a", "~", 1)
+
+    def test_null_is_never_matched(self):
+        predicate = Comparison("a", "=", 5)
+        evaluated, bound = both(predicate, {"a": None, "b": 0, "name": "x"}, (None, 0, "x"))
+        assert evaluated is False and bound is False
+
+    def test_attributes_and_equality(self):
+        assert Comparison("a", "=", 1).attributes() == frozenset({"a"})
+        assert Comparison("a", "=", 1) == Comparison("a", "==", 1)
+        assert hash(Comparison("a", "=", 1)) == hash(Comparison("a", "=", 1))
+
+
+class TestAttributeComparison:
+    def test_equality_join_condition(self):
+        predicate = AttributeComparison("a", "=", "b")
+        assert both(predicate, {"a": 2, "b": 2, "name": ""}, (2, 2, ""))[0]
+        assert not both(predicate, {"a": 2, "b": 3, "name": ""}, (2, 3, ""))[1]
+
+    def test_null_never_matches(self):
+        predicate = AttributeComparison("a", "<", "b")
+        assert not predicate.evaluate({"a": None, "b": 3})
+
+    def test_attributes(self):
+        assert AttributeComparison("a", "<", "b").attributes() == frozenset({"a", "b"})
+
+
+class TestCompound:
+    def test_conjunction_and_disjunction(self):
+        conjunction = Conjunction([Comparison("a", ">", 0), Comparison("b", "<", 10)])
+        disjunction = Disjunction([Comparison("a", ">", 100), Comparison("b", "<", 10)])
+        row = {"a": 1, "b": 5, "name": ""}
+        assert conjunction.evaluate(row) and disjunction.evaluate(row)
+        assert conjunction.bind(SCHEMA)((1, 5, "")) and disjunction.bind(SCHEMA)((1, 5, ""))
+
+    def test_negation(self):
+        predicate = Negation(Comparison("a", "=", 1))
+        assert predicate.evaluate({"a": 2}) and not predicate.evaluate({"a": 1})
+        assert predicate.attributes() == frozenset({"a"})
+
+    def test_operator_overloads(self):
+        combined = Comparison("a", ">", 0) & Comparison("b", ">", 0)
+        assert isinstance(combined, Conjunction)
+        either = Comparison("a", ">", 0) | Comparison("b", ">", 0)
+        assert isinstance(either, Disjunction)
+        negated = ~Comparison("a", ">", 0)
+        assert isinstance(negated, Negation)
+
+    def test_str_forms(self):
+        assert "AND" in str(Conjunction([Comparison("a", "=", 1), Comparison("b", "=", 2)]))
+        assert "OR" in str(Disjunction([Comparison("a", "=", 1), Comparison("b", "=", 2)]))
+        assert str(TruePredicate()) == "true"
+
+
+class TestConjunctionOf:
+    def test_empty_is_true(self):
+        assert isinstance(conjunction_of([]), TruePredicate)
+
+    def test_single_part_returned_as_is(self):
+        predicate = Comparison("a", "=", 1)
+        assert conjunction_of([predicate]) is predicate
+
+    def test_flattens_nested_conjunctions(self):
+        nested = Conjunction([Comparison("a", "=", 1), Comparison("b", "=", 2)])
+        flat = conjunction_of([nested, Comparison("name", "=", "x")])
+        assert isinstance(flat, Conjunction) and len(flat.parts) == 3
+
+    def test_drops_true_predicates(self):
+        predicate = conjunction_of([TruePredicate(), Comparison("a", "=", 1)])
+        assert predicate == Comparison("a", "=", 1)

@@ -1,0 +1,153 @@
+"""Tests for propositional formulas, DNF lineage, and exact probability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProbabilityError
+from repro.prob.formulas import (
+    DNF,
+    And,
+    Bottom,
+    Or,
+    Top,
+    Var,
+    dnf_probability,
+    dnf_probability_enumeration,
+    is_read_once,
+)
+
+
+PROBS = {1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6}
+
+
+class TestFormulaAlgebra:
+    def test_var(self):
+        formula = Var(1)
+        assert formula.probability(PROBS) == 0.1
+        assert formula.evaluate({1: True}) and not formula.evaluate({1: False})
+        assert formula.variables() == frozenset({1})
+
+    def test_constants(self):
+        assert Top().probability(PROBS) == 1.0 and Bottom().probability(PROBS) == 0.0
+        assert Top().evaluate({}) and not Bottom().evaluate({})
+
+    def test_and_or_probability_1of(self):
+        # x1 (x2 ∨ x3): the paper's 1OF probability evaluation
+        formula = And([Var(1), Or([Var(2), Var(3)])])
+        expected = 0.1 * (1 - 0.8 * 0.7)
+        assert formula.probability(PROBS) == pytest.approx(expected)
+        assert is_read_once(formula)
+
+    def test_paper_example_probability(self):
+        # x1 y1 (z1 ∨ z2) with the Fig. 1 probabilities = 0.0028
+        probabilities = {1: 0.1, 2: 0.1, 3: 0.1, 4: 0.2}
+        formula = And([Var(1), Var(2), Or([Var(3), Var(4)])])
+        assert formula.probability(probabilities) == pytest.approx(0.1 * 0.1 * 0.28)
+
+    def test_non_1of_probability_rejected(self):
+        formula = Or([And([Var(1), Var(2)]), And([Var(1), Var(3)])])
+        assert not is_read_once(formula)
+        with pytest.raises(ProbabilityError):
+            formula.probability(PROBS)
+
+    def test_missing_probability(self):
+        with pytest.raises(ProbabilityError):
+            Var(99).probability(PROBS)
+
+    def test_occurrence_count(self):
+        formula = And([Var(1), Or([Var(2), Var(1)])])
+        assert formula.occurrence_count() == {1: 2, 2: 1}
+
+    def test_to_dnf(self):
+        formula = And([Var(1), Or([Var(2), Var(3)])])
+        assert formula.to_dnf() == DNF([{1, 2}, {1, 3}])
+
+    def test_empty_nary_rejected(self):
+        with pytest.raises(ProbabilityError):
+            And([])
+
+
+class TestDNF:
+    def test_from_rows_and_str(self):
+        dnf = DNF.from_rows([[1, 2], [1, 3]])
+        assert len(dnf) == 2
+        assert "x1x2" in str(dnf)
+
+    def test_true_false(self):
+        assert DNF().is_false()
+        assert DNF([[]]).is_true()
+        assert not DNF([[1]]).is_false()
+
+    def test_evaluate(self):
+        dnf = DNF([[1, 2], [3]])
+        assert dnf.evaluate({1: True, 2: True, 3: False})
+        assert dnf.evaluate({1: False, 2: False, 3: True})
+        assert not dnf.evaluate({1: True, 2: False, 3: False})
+
+    def test_condition(self):
+        dnf = DNF([[1, 2], [3]])
+        assert dnf.condition(1, True) == DNF([[2], [3]])
+        assert dnf.condition(1, False) == DNF([[3]])
+
+    def test_minimised_removes_subsumed(self):
+        dnf = DNF([[1], [1, 2], [3]])
+        assert dnf.minimised() == DNF([[1], [3]])
+
+    def test_union(self):
+        assert DNF([[1]]) | DNF([[2]]) == DNF([[1], [2]])
+
+    def test_to_formula_roundtrip(self):
+        dnf = DNF([[1, 2], [3]])
+        assert dnf.to_formula().to_dnf() == dnf
+        assert isinstance(DNF().to_formula(), Bottom)
+        assert isinstance(DNF([[]]).to_formula(), Top)
+
+
+class TestExactProbability:
+    def test_independent_clauses(self):
+        dnf = DNF([[1], [2]])
+        expected = 1 - 0.9 * 0.8
+        assert dnf_probability(dnf, PROBS) == pytest.approx(expected)
+
+    def test_shared_variable(self):
+        # x1x2 ∨ x1x3 = x1(x2 ∨ x3)
+        dnf = DNF([[1, 2], [1, 3]])
+        expected = 0.1 * (1 - 0.8 * 0.7)
+        assert dnf_probability(dnf, PROBS) == pytest.approx(expected)
+
+    def test_constant_dnfs(self):
+        assert dnf_probability(DNF(), PROBS) == 0.0
+        assert dnf_probability(DNF([[]]), PROBS) == 1.0
+        assert dnf_probability_enumeration(DNF(), PROBS) == 0.0
+        assert dnf_probability_enumeration(DNF([[]]), PROBS) == 1.0
+
+    def test_hard_pattern_matches_enumeration(self):
+        # R(x), S(x,y), T(y): the prototypical #P-hard query's lineage shape.
+        dnf = DNF([[1, 3, 5], [1, 3, 6], [2, 4, 6]])
+        assert dnf_probability(dnf, PROBS) == pytest.approx(
+            dnf_probability_enumeration(dnf, PROBS)
+        )
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(1, 6), min_size=1, max_size=4), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_shannon_matches_enumeration(self, clauses):
+        dnf = DNF(clauses)
+        assert dnf_probability(dnf, PROBS) == pytest.approx(
+            dnf_probability_enumeration(dnf, PROBS), abs=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(1, 6), min_size=1, max_size=3), min_size=1, max_size=5
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probability_is_monotone_in_clauses(self, clauses):
+        dnf = DNF(clauses)
+        smaller = DNF(list(clauses)[:-1])
+        assert dnf_probability(dnf, PROBS) >= dnf_probability(smaller, PROBS) - 1e-12

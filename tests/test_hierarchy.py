@@ -1,0 +1,122 @@
+"""Tests for the hierarchical property and query tree construction."""
+
+import pytest
+
+from repro.errors import NonHierarchicalQueryError
+from repro.query.conjunctive import Atom, ConjunctiveQuery
+from repro.query.hierarchy import (
+    build_hierarchy,
+    is_hierarchical,
+    relevant_join_attributes,
+    witness_non_hierarchical,
+)
+
+
+def intro_query(item_has_ckey=True, projection=("odate",)):
+    """The Introduction's query Q (and its non-hierarchical variant Q')."""
+    item_attributes = ["okey", "discount"] + (["ckey"] if item_has_ckey else [])
+    return ConjunctiveQuery(
+        "Q" if item_has_ckey else "Q'",
+        [
+            Atom("Cust", ["ckey", "cname"]),
+            Atom("Ord", ["okey", "ckey", "odate"]),
+            Atom("Item", item_attributes),
+        ],
+        projection=projection,
+    )
+
+
+class TestHierarchicalProperty:
+    def test_intro_query_is_hierarchical(self):
+        assert is_hierarchical(intro_query())
+
+    def test_dropping_ckey_from_item_is_not(self):
+        # Q' of the Introduction: the prototypical hard pattern.
+        query = intro_query(item_has_ckey=False)
+        assert not is_hierarchical(query)
+        witness = witness_non_hierarchical(query)
+        assert witness is not None and witness[0] == "Ord"
+        assert set(witness[1:]) == {"ckey", "okey"}
+
+    def test_classic_rst_pattern(self):
+        query = ConjunctiveQuery(
+            "hard", [Atom("R", ["x"]), Atom("S", ["x", "y"]), Atom("T", ["y"])]
+        )
+        assert not is_hierarchical(query)
+
+    def test_head_attributes_are_ignored(self):
+        # Projecting one of the conflicting attributes makes the query easy.
+        query = ConjunctiveQuery(
+            "easy",
+            [Atom("R", ["x"]), Atom("S", ["x", "y"]), Atom("T", ["y"])],
+            projection=["x"],
+        )
+        assert is_hierarchical(query)
+        assert relevant_join_attributes(query) == {"y"}
+
+    def test_single_atom_is_hierarchical(self):
+        assert is_hierarchical(ConjunctiveQuery("one", [Atom("R", ["a", "b"])]))
+
+    def test_product_is_hierarchical(self):
+        query = ConjunctiveQuery("prod", [Atom("R", ["a"]), Atom("S", ["b"])])
+        assert is_hierarchical(query)
+
+
+class TestTreeConstruction:
+    def test_intro_query_tree_shape(self):
+        # Fig. 3: root ckey with Cust below and an inner node ckey,okey over Ord/Item.
+        tree = build_hierarchy(intro_query())
+        assert tree.attributes == frozenset({"ckey"})
+        assert not tree.is_leaf and len(tree.children) == 2
+        leaf_tables = {child.atom.table for child in tree.children if child.is_leaf}
+        assert leaf_tables == {"Cust"}
+        inner = next(child for child in tree.children if not child.is_leaf)
+        assert inner.attributes == frozenset({"ckey", "okey"})
+        assert set(inner.tables()) == {"Ord", "Item"}
+
+    def test_tree_tables_order_and_leaves(self):
+        tree = build_hierarchy(intro_query())
+        assert tree.tables() == ["Cust", "Ord", "Item"]
+        assert [leaf.atom.table for leaf in tree.leaves()] == ["Cust", "Ord", "Item"]
+        assert tree.find_leaf("Ord") is not None
+        assert tree.find_leaf("Nope") is None
+
+    def test_product_tree_has_empty_root(self):
+        query = ConjunctiveQuery("prod", [Atom("R", ["a"]), Atom("S", ["b"])])
+        tree = build_hierarchy(query)
+        assert tree.attributes == frozenset()
+        assert len(tree.children) == 2
+
+    def test_single_atom_tree_is_leaf(self):
+        tree = build_hierarchy(ConjunctiveQuery("one", [Atom("R", ["a"])]))
+        assert tree.is_leaf and tree.atom.table == "R"
+
+    def test_non_hierarchical_raises_with_witness(self):
+        with pytest.raises(NonHierarchicalQueryError) as excinfo:
+            build_hierarchy(intro_query(item_has_ckey=False))
+        assert "ckey" in str(excinfo.value) or "okey" in str(excinfo.value)
+
+    def test_pretty_rendering(self):
+        text = str(build_hierarchy(intro_query()))
+        assert "ckey" in text and "Cust(" in text
+
+    def test_deep_chain(self):
+        # Query 7-like chain: N1 - S - L - O - C - N2.  Without the key FDs the
+        # chain is non-hierarchical (the lineitem table joins S and O on two
+        # unrelated attributes); projecting the chain keys makes it easy.
+        atoms = [
+            Atom("N1", ["nk1", "n1name"]),
+            Atom("S", ["sk", "nk1"]),
+            Atom("L", ["ok", "sk", "ship"]),
+            Atom("O", ["ok", "ck"]),
+            Atom("C", ["ck", "nk2"]),
+            Atom("N2", ["nk2", "n2name"]),
+        ]
+        hard = ConjunctiveQuery("chain", atoms, projection=["n1name", "n2name"])
+        assert not is_hierarchical(hard)
+        easy = ConjunctiveQuery(
+            "chain-keys", atoms, projection=["sk", "ok", "ck", "n1name", "n2name"]
+        )
+        assert is_hierarchical(easy)
+        tree = build_hierarchy(easy)
+        assert set(tree.tables()) == {"N1", "S", "L", "O", "C", "N2"}

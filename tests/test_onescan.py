@@ -1,0 +1,184 @@
+"""Tests for the scan-based confidence operator (Fig. 8)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProbabilityError, QueryError
+from repro.prob.formulas import DNF, dnf_probability
+from repro.query.signature import parse_signature
+from repro.sprout.onescan import (
+    ColumnMap,
+    OneScanState,
+    group_probability,
+    one_scan_operator,
+    scan_confidences,
+    sort_column_order,
+    streaming_scan_confidences,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Attribute, ColumnRole, Schema
+
+
+def bag_schema(tables, data_columns=("d",)):
+    """Schema of an answer relation with one V/P pair per table."""
+    attributes = [Attribute(name, "str") for name in data_columns]
+    for table in tables:
+        attributes.append(Attribute(f"{table}.V", "int", ColumnRole.VAR, source=table))
+        attributes.append(Attribute(f"{table}.P", "float", ColumnRole.PROB, source=table))
+    return Schema(attributes)
+
+
+def make_relation(tables, rows, data_columns=("d",)):
+    return Relation("answer", bag_schema(tables, data_columns), rows)
+
+
+def bag_dnf(rows, columns: ColumnMap):
+    """DNF and probability map encoded by a bag of answer rows."""
+    probabilities = {}
+    clauses = []
+    for row in rows:
+        clause = []
+        for table in columns.tables():
+            variable = columns.var_of(row, table)
+            probabilities[variable] = columns.prob_of(row, table)
+            clause.append(variable)
+        clauses.append(clause)
+    return DNF(clauses), probabilities
+
+
+class TestGroupProbability:
+    def test_paper_bag(self):
+        # x1 y1 z1 ∨ x1 y1 z2 factored as x1(y1(z1 ∨ z2)) = 0.0028.
+        relation = make_relation(
+            ["Cust", "Ord", "Item"],
+            [
+                ("1995-01-10", 1, 0.1, 5, 0.1, 7, 0.1),
+                ("1995-01-10", 1, 0.1, 5, 0.1, 8, 0.2),
+            ],
+        )
+        columns = ColumnMap(relation.schema)
+        signature = parse_signature("(Cust (Ord Item*)*)*")
+        assert group_probability(signature, relation.rows, columns) == pytest.approx(0.0028)
+
+    def test_product_signature(self):
+        # R* S*: the cross-product bag factors into independent OR groups.
+        rows = [
+            ("d", 1, 0.5, 10, 0.25),
+            ("d", 1, 0.5, 11, 0.5),
+            ("d", 2, 0.5, 10, 0.25),
+            ("d", 2, 0.5, 11, 0.5),
+        ]
+        relation = make_relation(["R", "S"], rows)
+        columns = ColumnMap(relation.schema)
+        expected = (1 - 0.5 * 0.5) * (1 - 0.75 * 0.5)
+        assert group_probability(parse_signature("R* S*"), rows, columns) == pytest.approx(expected)
+
+    def test_single_table_with_multiple_variables_rejected(self):
+        rows = [("d", 1, 0.5), ("d", 2, 0.5)]
+        relation = make_relation(["R"], rows)
+        columns = ColumnMap(relation.schema)
+        with pytest.raises(ProbabilityError):
+            group_probability(parse_signature("R"), rows, columns)
+
+    def test_empty_bag_rejected(self):
+        relation = make_relation(["R"], [])
+        with pytest.raises(ProbabilityError):
+            group_probability(parse_signature("R*"), [], ColumnMap(relation.schema))
+
+    def test_non_1scan_group_rejected(self):
+        rows = [("d", 1, 0.5, 2, 0.5)]
+        relation = make_relation(["R", "S"], rows)
+        with pytest.raises(QueryError):
+            group_probability(parse_signature("(R* S*)*"), rows, ColumnMap(relation.schema))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 3), st.integers(1, 4)), min_size=1, max_size=12
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_exact_dnf_probability_on_hierarchical_bags(self, pairs, rng):
+        """Bags shaped like (R (S)*)* lineage match the exact DNF probability."""
+        probabilities = {}
+
+        def prob_of(variable, offset):
+            if variable not in probabilities:
+                probabilities[variable] = round(rng.uniform(0.05, 0.95), 3)
+            return probabilities[variable]
+
+        rows = []
+        for r_value, s_value in sorted(set(pairs)):
+            r_var = r_value  # R variable identified by its value
+            s_var = 100 * r_value + s_value  # each S row joins exactly one R row
+            rows.append(("d", r_var, prob_of(r_var, 0), s_var, prob_of(s_var, 100)))
+        relation = make_relation(["R", "S"], rows)
+        columns = ColumnMap(relation.schema)
+        dnf, variable_probabilities = bag_dnf(rows, columns)
+        expected = dnf_probability(dnf, variable_probabilities)
+        actual = group_probability(parse_signature("(R S*)*"), rows, columns)
+        assert actual == pytest.approx(expected, abs=1e-9)
+
+
+class TestScanOperator:
+    def build_two_bag_relation(self):
+        rows = [
+            ("a", 1, 0.1, 5, 0.1, 7, 0.1),
+            ("a", 1, 0.1, 5, 0.1, 8, 0.2),
+            ("b", 2, 0.2, 6, 0.3, 9, 0.4),
+        ]
+        return make_relation(["Cust", "Ord", "Item"], rows)
+
+    def test_one_scan_operator(self):
+        relation = self.build_two_bag_relation()
+        signature = parse_signature("(Cust (Ord Item*)*)*")
+        result = one_scan_operator(relation, signature)
+        confidences = {row[0]: row[1] for row in result}
+        assert confidences["a"] == pytest.approx(0.0028)
+        assert confidences["b"] == pytest.approx(0.2 * 0.3 * 0.4)
+        assert result.schema.names == ("d", "conf")
+
+    def test_scan_confidences_requires_sorted_bags(self):
+        relation = self.build_two_bag_relation()
+        signature = parse_signature("(Cust (Ord Item*)*)*")
+        columns = ColumnMap(relation.schema)
+        results = dict(scan_confidences(relation.rows, columns, signature))
+        assert set(results) == {("a",), ("b",)}
+
+    def test_sort_column_order(self):
+        relation = self.build_two_bag_relation()
+        signature = parse_signature("(Cust (Ord Item*)*)*")
+        order = sort_column_order(relation.schema, signature)
+        assert order == ["d", "Cust.V", "Ord.V", "Item.V"]
+
+    def test_streaming_matches_buffered(self):
+        relation = self.build_two_bag_relation()
+        signature = parse_signature("(Cust (Ord Item*)*)*")
+        columns = ColumnMap(relation.schema)
+        order = sort_column_order(relation.schema, signature)
+        rows = relation.sorted_by(order).rows
+        buffered = dict(scan_confidences(rows, columns, signature))
+        streamed = dict(streaming_scan_confidences(rows, columns, signature))
+        assert set(buffered) == set(streamed)
+        for key in buffered:
+            assert streamed[key] == pytest.approx(buffered[key])
+
+    def test_streaming_rejects_many_to_many_products(self):
+        relation = make_relation(["R", "S"], [("d", 1, 0.5, 2, 0.5)])
+        with pytest.raises(QueryError):
+            OneScanState(parse_signature("R* S*"), ColumnMap(relation.schema))
+
+    def test_streaming_rejects_non_1scan(self):
+        relation = make_relation(["R", "S"], [("d", 1, 0.5, 2, 0.5)])
+        with pytest.raises(QueryError):
+            OneScanState(parse_signature("(R* S*)*"), ColumnMap(relation.schema))
+
+    def test_boolean_answer_no_data_columns(self):
+        schema = bag_schema(["R"], data_columns=())
+        relation = Relation("answer", schema, [(1, 0.3), (2, 0.5)])
+        result = one_scan_operator(relation, parse_signature("R*"))
+        assert len(result) == 1
+        assert result.rows[0][-1] == pytest.approx(1 - 0.7 * 0.5)

@@ -1,0 +1,96 @@
+"""Tests for the SQL-ish parser with conf()."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.algebra.expressions import Comparison
+from repro.query.parser import parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register_table("cust", Schema.of("ckey:int", "cname:str"), primary_key=["ckey"])
+    catalog.register_table("ord", Schema.of("okey:int", "ckey:int", "odate:date"), primary_key=["okey"])
+    catalog.register_table("item", Schema.of("okey:int", "discount:float"))
+    return catalog
+
+
+class TestParse:
+    def test_basic_query(self, catalog):
+        parsed = parse_query(
+            "SELECT odate, conf() FROM cust, ord, item WHERE cname = 'Joe' AND discount > 0",
+            catalog,
+            name="Q",
+        )
+        assert parsed.wants_confidence
+        assert parsed.query.projection == ("odate",)
+        assert {a.table for a in parsed.query.atoms} == {"cust", "ord", "item"}
+        assert Comparison("cname", "=", "Joe") in parsed.query.selection_predicates()
+        assert Comparison("discount", ">", 0) in parsed.query.selection_predicates()
+
+    def test_boolean_query(self, catalog):
+        parsed = parse_query("SELECT conf() FROM cust WHERE cname = 'Joe'", catalog)
+        assert parsed.query.is_boolean() and parsed.wants_confidence
+
+    def test_distinct_flag(self, catalog):
+        parsed = parse_query("SELECT DISTINCT cname FROM cust", catalog)
+        assert parsed.distinct and not parsed.wants_confidence
+
+    def test_qualified_attributes(self, catalog):
+        parsed = parse_query("SELECT ord.odate FROM ord WHERE ord.okey = 5", catalog)
+        assert parsed.query.projection == ("odate",)
+        assert parsed.query.selection_predicates() == [Comparison("okey", "=", 5)]
+
+    def test_join_condition_on_same_name_is_implicit(self, catalog):
+        parsed = parse_query("SELECT odate FROM cust, ord WHERE cust.ckey = ord.ckey", catalog)
+        assert parsed.query.selection_predicates() == []
+        assert "ckey" in parsed.query.join_attributes()
+
+    def test_numeric_and_boolean_literals(self, catalog):
+        parsed = parse_query(
+            "SELECT odate FROM ord WHERE okey >= 3 AND odate < '1995-01-01'", catalog
+        )
+        predicates = parsed.query.selection_predicates()
+        assert Comparison("okey", ">=", 3) in predicates
+        assert Comparison("odate", "<", "1995-01-01") in predicates
+
+    def test_case_insensitive_table_lookup(self, catalog):
+        parsed = parse_query("SELECT cname FROM CUST", catalog)
+        assert parsed.query.table_names() == ["cust"]
+
+
+class TestParseErrors:
+    def test_not_a_select(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("DELETE FROM cust", catalog)
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("SELECT x FROM nowhere", catalog)
+
+    def test_unknown_attribute(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("SELECT shoe_size FROM cust", catalog)
+
+    def test_star_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * FROM cust", catalog)
+
+    def test_inequality_join_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("SELECT odate FROM ord, item WHERE okey < discount", catalog)
+
+    def test_unquoted_string_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("SELECT cname FROM cust WHERE cname = Joe", catalog)
+
+    def test_join_on_different_names_rejected(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("SELECT cname FROM cust, ord WHERE ckey = okey", catalog)
+
+    def test_malformed_condition(self, catalog):
+        with pytest.raises(QueryError):
+            parse_query("SELECT cname FROM cust WHERE cname LIKE 'J%'", catalog)

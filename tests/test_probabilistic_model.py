@@ -1,0 +1,196 @@
+"""Tests for variables, probabilistic tables, databases, worlds, and lineage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CatalogError, ProbabilityError, SchemaError
+from repro.prob.lineage import (
+    confidences_from_lineage,
+    lineage_by_tuple,
+    probabilities_from_answer,
+)
+from repro.prob.pdb import ProbabilisticDatabase
+from repro.prob.ptable import make_tuple_independent
+from repro.prob.variables import VariableRegistry, validate_probability
+from repro.prob.worlds import confidences_by_enumeration
+from repro.storage.relation import Relation
+from repro.storage.schema import ColumnRole, Schema
+
+
+class TestVariableRegistry:
+    def test_fresh_allocates_increasing_ids(self):
+        registry = VariableRegistry()
+        first = registry.fresh("T", 0.5)
+        second = registry.fresh("T", 0.25)
+        assert second == first + 1
+        assert registry.probability(first) == 0.5
+        assert registry.table(second) == "T"
+        assert len(registry) == 2
+
+    def test_unknown_variable(self):
+        with pytest.raises(ProbabilityError):
+            VariableRegistry().probability(1)
+
+    def test_probability_validation(self):
+        registry = VariableRegistry()
+        with pytest.raises(ProbabilityError):
+            registry.fresh("T", 0.0)
+        with pytest.raises(ProbabilityError):
+            registry.fresh("T", 1.5)
+        with pytest.raises(ProbabilityError):
+            validate_probability("0.5")
+
+    def test_variables_of_and_set_probability(self):
+        registry = VariableRegistry()
+        a = registry.fresh("A", 0.1)
+        registry.fresh("B", 0.2)
+        assert registry.variables_of("A") == [a]
+        registry.set_probability(a, 0.9)
+        assert registry.probability(a) == 0.9
+
+
+class TestMakeTupleIndependent:
+    def test_adds_var_and_prob_columns(self):
+        registry = VariableRegistry()
+        relation = Relation("T", Schema.of("a:int"), [(1,), (2,)])
+        table = make_tuple_independent(relation, registry, probabilities=[0.5, 0.25])
+        assert table.schema.names == ("a", "T.V", "T.P")
+        assert table.variables() == [1, 2]
+        assert table.relation.column("T.P") == [0.5, 0.25]
+        assert table.data_rows() == [(1,), (2,)]
+
+    def test_probability_specs(self):
+        registry = VariableRegistry()
+        relation = Relation("T", Schema.of("a:int"), [(1,), (2,), (3,)])
+        constant = make_tuple_independent(relation, registry, probabilities=0.5)
+        assert constant.relation.column("T.P") == [0.5, 0.5, 0.5]
+        computed = make_tuple_independent(
+            relation, registry, probabilities=lambda i, row: 0.1 * (i + 1), source="T2"
+        )
+        assert computed.relation.column("T2.P") == pytest.approx([0.1, 0.2, 0.3])
+
+    def test_short_probability_list_rejected(self):
+        registry = VariableRegistry()
+        relation = Relation("T", Schema.of("a:int"), [(1,), (2,)])
+        with pytest.raises(ProbabilityError):
+            make_tuple_independent(relation, registry, probabilities=[0.5])
+
+    def test_random_probabilities_are_reproducible(self):
+        import random
+
+        relation = Relation("T", Schema.of("a:int"), [(i,) for i in range(5)])
+        first = make_tuple_independent(relation, VariableRegistry(), rng=random.Random(3))
+        second = make_tuple_independent(relation, VariableRegistry(), rng=random.Random(3))
+        assert first.relation.column("T.P") == second.relation.column("T.P")
+
+    def test_rejects_existing_annotation(self):
+        registry = VariableRegistry()
+        relation = Relation("T", Schema.of("a:int"), [(1,)])
+        annotated = make_tuple_independent(relation, registry).relation
+        with pytest.raises(SchemaError):
+            make_tuple_independent(annotated, registry)
+
+
+class TestProbabilisticDatabase:
+    def build(self):
+        db = ProbabilisticDatabase("d")
+        db.add_table(Relation("R", Schema.of("a:int"), [(1,), (2,)]), probabilities=[0.5, 0.5])
+        db.add_table(Relation("S", Schema.of("a:int", "b:int"), [(1, 7)]), probabilities=[0.25])
+        return db
+
+    def test_duplicate_table_rejected(self):
+        db = self.build()
+        with pytest.raises(CatalogError):
+            db.add_table(Relation("R", Schema.of("a:int"), [(1,)]))
+
+    def test_world_selection(self):
+        db = self.build()
+        assignment = {1: True, 2: False, 3: True}
+        world = db.world(assignment)
+        assert world["R"].rows == [(1,)]
+        assert world["S"].rows == [(1, 7)]
+        assert db.world_probability(assignment) == pytest.approx(0.5 * 0.5 * 0.25)
+
+    def test_world_probabilities_sum_to_one(self):
+        db = self.build()
+        total = sum(world.probability for world in db.worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_world_enumeration_guard(self):
+        db = ProbabilisticDatabase("big")
+        db.add_table(Relation("R", Schema.of("a:int"), [(i,) for i in range(30)]))
+        with pytest.raises(ProbabilityError):
+            list(db.worlds(max_variables=10))
+
+    def test_alias_shares_variables(self):
+        db = self.build()
+        alias = db.add_alias("R", "R2", rename={"a": "a2"})
+        assert alias.schema.names == ("a2", "R2.V", "R2.P")
+        assert alias.variables() == db.table("R").variables()
+        with pytest.raises(CatalogError):
+            db.add_alias("R", "R2")
+
+    def test_confidences_by_enumeration_single_table(self):
+        db = self.build()
+
+        def query(instance):
+            return instance["R"]
+
+        confidences = confidences_by_enumeration(db, query)
+        assert confidences[(1,)] == pytest.approx(0.5)
+        assert confidences[(2,)] == pytest.approx(0.5)
+
+
+class TestLineage:
+    def build_answer(self):
+        from repro.storage.schema import Attribute
+
+        schema = Schema(
+            [
+                Attribute("odate", "str"),
+                Attribute("Cust.V", "int", ColumnRole.VAR, source="Cust"),
+                Attribute("Cust.P", "float", ColumnRole.PROB, source="Cust"),
+                Attribute("Item.V", "int", ColumnRole.VAR, source="Item"),
+                Attribute("Item.P", "float", ColumnRole.PROB, source="Item"),
+            ]
+        )
+        return Relation(
+            "answer",
+            schema,
+            [
+                ("1995-01-10", 1, 0.1, 7, 0.1),
+                ("1995-01-10", 1, 0.1, 8, 0.2),
+                ("1996-01-09", 2, 0.2, 9, 0.3),
+            ],
+        )
+
+    def test_lineage_by_tuple(self):
+        lineage = lineage_by_tuple(self.build_answer())
+        assert lineage[("1995-01-10",)].clauses == frozenset({frozenset({1, 7}), frozenset({1, 8})})
+        assert len(lineage[("1996-01-09",)]) == 1
+
+    def test_probabilities_from_answer(self):
+        probabilities = probabilities_from_answer(self.build_answer())
+        assert probabilities == {1: 0.1, 2: 0.2, 7: 0.1, 8: 0.2, 9: 0.3}
+
+    def test_inconsistent_probability_detected(self):
+        answer = self.build_answer()
+        answer.append(("1996-01-09", 2, 0.9, 9, 0.3))
+        with pytest.raises(ProbabilityError):
+            probabilities_from_answer(answer)
+
+    def test_confidences_from_lineage(self):
+        confidences = confidences_from_lineage(self.build_answer())
+        assert confidences[("1995-01-10",)] == pytest.approx(0.1 * (1 - 0.9 * 0.8))
+        assert confidences[("1996-01-09",)] == pytest.approx(0.2 * 0.3)
+
+    @given(st.lists(st.floats(0.01, 0.99), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_single_table_confidence_equals_marginal(self, probabilities):
+        db = ProbabilisticDatabase("p")
+        rows = [(i,) for i in range(len(probabilities))]
+        db.add_table(Relation("R", Schema.of("a:int"), rows), probabilities=probabilities)
+        confidences = confidences_from_lineage(db.relation("R"))
+        for i, probability in enumerate(probabilities):
+            assert confidences[(i,)] == pytest.approx(probability)

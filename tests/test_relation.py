@@ -1,0 +1,99 @@
+"""Unit tests for repro.storage.relation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+@pytest.fixture
+def people():
+    schema = Schema.of("name:str", "age:int", "city:str")
+    return Relation(
+        "people",
+        schema,
+        [
+            ("ann", 31, "oxford"),
+            ("bob", 25, "leeds"),
+            ("cat", 25, "oxford"),
+            ("ann", 31, "oxford"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_len_iter_bool(self, people):
+        assert len(people) == 4
+        assert bool(people)
+        assert list(people)[0] == ("ann", 31, "oxford")
+        assert not Relation("empty", people.schema)
+
+    def test_append_arity_check(self, people):
+        with pytest.raises(SchemaError):
+            people.append(("too", "short"))
+
+    def test_append_validation(self, people):
+        with pytest.raises(SchemaError):
+            people.append(("x", "not-an-int", "y"), validate=True)
+
+    def test_from_dicts_and_to_dicts(self):
+        schema = Schema.of("a:int", "b:str")
+        relation = Relation.from_dicts("t", schema, [{"a": 1, "b": "x"}, {"a": 2}])
+        assert relation.rows == [(1, "x"), (2, None)]
+        assert relation.to_dicts()[0] == {"a": 1, "b": "x"}
+
+    def test_empty_like(self, people):
+        empty = people.empty_like("copy")
+        assert len(empty) == 0 and empty.schema == people.schema
+
+
+class TestTransformations:
+    def test_column(self, people):
+        assert people.column("age") == [31, 25, 25, 31]
+
+    def test_project_is_bag(self, people):
+        projected = people.project(["city"])
+        assert len(projected) == 4
+        assert projected.schema.names == ("city",)
+
+    def test_filter(self, people):
+        adults = people.filter(lambda row: row["age"] > 26)
+        assert len(adults) == 2
+
+    def test_sorted_by(self, people):
+        ordered = people.sorted_by(["age", "name"])
+        assert [row[0] for row in ordered] == ["bob", "cat", "ann", "ann"]
+
+    def test_sorted_by_handles_none(self):
+        relation = Relation("t", Schema.of("a:int"), [(3,), (None,), (1,)])
+        assert relation.sorted_by(["a"]).rows == [(None,), (1,), (3,)]
+
+    def test_distinct(self, people):
+        assert len(people.distinct()) == 3
+
+    def test_renamed(self, people):
+        renamed = people.renamed({"name": "person"})
+        assert renamed.schema.names == ("person", "age", "city")
+        assert len(renamed) == 4
+
+    def test_head(self, people):
+        assert len(people.head(2)) == 2
+
+    def test_equality_ignores_row_order(self, people):
+        shuffled = Relation("other", people.schema, list(reversed(people.rows)))
+        assert people == shuffled
+
+    def test_row_dict(self, people):
+        assert people.row_dict(people.rows[1])["name"] == "bob"
+
+
+class TestPretty:
+    def test_pretty_contains_header_and_rows(self, people):
+        text = people.pretty()
+        assert "name" in text and "ann" in text
+        assert text.count("\n") >= 4
+
+    def test_pretty_truncates(self, people):
+        text = people.pretty(limit=2)
+        assert "more rows" in text

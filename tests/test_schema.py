@@ -1,0 +1,133 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import Attribute, ColumnRole, Schema
+
+
+class TestAttribute:
+    def test_defaults(self):
+        attribute = Attribute("ckey", "int")
+        assert attribute.role is ColumnRole.DATA
+        assert attribute.source is None
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "decimal")
+
+    def test_var_column_requires_source(self):
+        with pytest.raises(SchemaError):
+            Attribute("V", "int", ColumnRole.VAR)
+
+    def test_var_column_with_source(self):
+        attribute = Attribute("Cust.V", "int", ColumnRole.VAR, source="Cust")
+        assert attribute.source == "Cust"
+        assert "var" in str(attribute)
+
+    @pytest.mark.parametrize(
+        "dtype,value,ok",
+        [
+            ("int", 3, True),
+            ("int", "3", False),
+            ("float", 3, True),
+            ("float", 3.5, True),
+            ("float", True, False),
+            ("str", "abc", True),
+            ("str", 1, False),
+            ("bool", True, True),
+            ("date", "1995-01-10", True),
+            ("int", None, True),
+        ],
+    )
+    def test_accepts(self, dtype, value, ok):
+        assert Attribute("a", dtype).accepts(value) is ok
+
+    def test_renamed_and_with_source(self):
+        attribute = Attribute("a", "int")
+        assert attribute.renamed("b").name == "b"
+        assert attribute.with_source("T").source == "T"
+        # original is unchanged (frozen dataclass semantics)
+        assert attribute.name == "a" and attribute.source is None
+
+
+class TestSchema:
+    def test_of_and_lookup(self):
+        schema = Schema.of("ckey:int", "cname")
+        assert schema.names == ("ckey", "cname")
+        assert schema["cname"].dtype == "str"
+        assert schema.index_of("ckey") == 0
+        assert "ckey" in schema and "missing" not in schema
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a"), Attribute("a")])
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema.of("a:int")
+        with pytest.raises(SchemaError):
+            schema.index_of("b")
+
+    def test_project_and_drop(self):
+        schema = Schema.of("a:int", "b:str", "c:float")
+        assert Schema.of("c:float", "a:int") == schema.project(["c", "a"])
+        assert schema.drop(["b"]).names == ("a", "c")
+        with pytest.raises(SchemaError):
+            schema.drop(["nope"])
+
+    def test_concat_and_conflict(self):
+        left = Schema.of("a:int")
+        right = Schema.of("b:int")
+        assert left.concat(right).names == ("a", "b")
+        with pytest.raises(SchemaError):
+            left.concat(left)
+
+    def test_rename_and_prefixed(self):
+        schema = Schema.of("a:int", "b:str")
+        assert schema.rename({"a": "x"}).names == ("x", "b")
+        assert schema.prefixed("T").names == ("T.a", "T.b")
+
+    def test_validate_row(self):
+        schema = Schema.of("a:int", "b:str")
+        schema.validate_row((1, "x"))
+        with pytest.raises(SchemaError):
+            schema.validate_row((1,))
+        with pytest.raises(SchemaError):
+            schema.validate_row(("bad", "x"))
+
+    def test_var_prob_pairs(self):
+        schema = Schema(
+            [
+                Attribute("a", "int"),
+                Attribute("T.V", "int", ColumnRole.VAR, source="T"),
+                Attribute("T.P", "float", ColumnRole.PROB, source="T"),
+                Attribute("S.V", "int", ColumnRole.VAR, source="S"),
+                Attribute("S.P", "float", ColumnRole.PROB, source="S"),
+            ]
+        )
+        pairs = schema.var_prob_pairs()
+        assert [p.source for p in pairs] == ["T", "S"]
+        assert pairs[0].var_index == 1 and pairs[0].prob_index == 2
+        assert schema.sources() == ["T", "S"]
+        assert schema.data_names() == ["a"]
+
+    def test_unpaired_var_column_rejected(self):
+        schema = Schema([Attribute("T.V", "int", ColumnRole.VAR, source="T")])
+        with pytest.raises(SchemaError):
+            schema.var_prob_pairs()
+
+    def test_duplicate_var_column_rejected(self):
+        schema = Schema(
+            [
+                Attribute("T.V", "int", ColumnRole.VAR, source="T"),
+                Attribute("T.V2", "int", ColumnRole.VAR, source="T"),
+                Attribute("T.P", "float", ColumnRole.PROB, source="T"),
+            ]
+        )
+        with pytest.raises(SchemaError):
+            schema.var_prob_pairs()
+
+    def test_equality_and_hash(self):
+        assert Schema.of("a:int") == Schema.of("a:int")
+        assert Schema.of("a:int") != Schema.of("a:str")
+        assert hash(Schema.of("a:int")) == hash(Schema.of("a:int"))

@@ -1,0 +1,116 @@
+"""Tests for heap files, external sort, and CSV I/O."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.csv_io import read_csv, write_csv
+from repro.storage.external_sort import SortStats, external_sort, sort_key_for
+from repro.storage.heapfile import HeapFile
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+
+class TestHeapFile:
+    def test_roundtrip(self, tmp_path):
+        schema = Schema.of("a:int", "b:str")
+        rows = [(i, f"row{i}") for i in range(100)]
+        heap = HeapFile(schema, path=str(tmp_path / "heap.jsonl"), page_size=256)
+        written = heap.write_rows(rows)
+        assert written == 100
+        assert heap.page_count > 1
+        assert list(heap.scan()) == rows
+        assert heap.stats.pages_read == heap.page_count
+        assert heap.stats.tuples_read == 100
+
+    def test_append_across_calls(self, tmp_path):
+        heap = HeapFile(Schema.of("a:int"), path=str(tmp_path / "h.jsonl"), page_size=64)
+        heap.write_rows([(1,), (2,)])
+        heap.write_rows([(3,)])
+        assert [row[0] for row in heap.scan()] == [1, 2, 3]
+        assert len(heap) == 3
+
+    def test_temporary_file_cleanup(self):
+        heap = HeapFile(Schema.of("a:int"))
+        path = heap.path
+        heap.write_rows([(1,)])
+        heap.close()
+        assert not os.path.exists(path)
+        with pytest.raises(StorageError):
+            heap.write_rows([(2,)])
+
+    def test_context_manager(self):
+        with HeapFile(Schema.of("a:int")) as heap:
+            heap.write_rows([(1,)])
+            path = heap.path
+        assert not os.path.exists(path)
+
+
+class TestExternalSort:
+    def test_in_memory_path(self):
+        rows = [(3, "c"), (1, "a"), (2, "b")]
+        assert list(external_sort(rows, [0])) == sorted(rows)
+
+    def test_spilling_path(self):
+        rows = [(i % 17, i) for i in range(500)]
+        stats = SortStats()
+        result = list(external_sort(rows, [0, 1], max_rows_in_memory=50, stats=stats))
+        assert result == sorted(rows)
+        assert stats.runs_spilled >= 2
+        assert stats.rows_spilled == 500
+        # run files are removed once the iterator is exhausted
+        assert all(not os.path.exists(path) for path in stats.run_files)
+
+    def test_none_sorts_first(self):
+        rows = [(2,), (None,), (1,)]
+        assert list(external_sort(rows, [0])) == [(None,), (1,), (2,)]
+
+    def test_mixed_types_do_not_crash(self):
+        rows = [("b",), (1,), ("a",), (2,)]
+        result = list(external_sort(rows, [0]))
+        assert result[0] == (1,) and result[-1] == ("b",)
+
+    @given(st.lists(st.tuples(st.integers(-20, 20), st.integers(-20, 20)), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_builtin_sort(self, rows):
+        expected = sorted(rows, key=lambda r: (sort_key_for(r[0]), sort_key_for(r[1])))
+        assert list(external_sort(rows, [0, 1], max_rows_in_memory=16)) == expected
+
+
+class TestSortKey:
+    def test_total_order_over_mixed_values(self):
+        values = [None, True, 0, 2.5, "abc", "ab"]
+        ordered = sorted(values, key=sort_key_for)
+        assert ordered[0] is None
+        assert ordered[-1] == "abc"
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        schema = Schema.of("a:int", "b:str", "c:float", "flag:bool")
+        relation = Relation("t", schema, [(1, "x", 1.5, True), (2, "y", -3.0, False), (3, None, None, None)])
+        path = str(tmp_path / "t.csv")
+        write_csv(relation, path)
+        loaded = read_csv(path, schema, name="t")
+        assert loaded == relation
+
+    def test_header_mismatch(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        write_csv(Relation("t", Schema.of("a:int"), [(1,)]), path)
+        with pytest.raises(StorageError):
+            read_csv(path, Schema.of("b:int"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            read_csv(str(path), Schema.of("a:int"))
+
+    def test_bad_arity(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(StorageError):
+            read_csv(str(path), Schema.of("a:int", "b:int"))
