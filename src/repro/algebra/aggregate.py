@@ -29,6 +29,7 @@ __all__ = [
     "AggregateSpec",
     "GroupByOp",
     "AGGREGATE_FUNCTIONS",
+    "aggregate_output_schema",
     "prob_or",
     "mystiq_log_prob_or",
 ]
@@ -100,6 +101,36 @@ AGGREGATE_FUNCTIONS: Dict[str, Callable[[Sequence[object]], object]] = {
 }
 
 
+def aggregate_output_schema(
+    child_schema: Schema, group_by: Sequence[str], aggregates: Sequence["AggregateSpec"]
+) -> Schema:
+    """Output schema of a group-by: grouping attributes, then one per aggregate.
+
+    Aggregate columns inherit the role/source of their input column (``min``
+    over a variable column stays a variable column, etc.); counting yields
+    ``int`` and the numeric folds yield ``float``.  Shared by the row
+    :class:`GroupByOp` and the columnar backend so the two backends can never
+    disagree on schemas.
+    """
+    attributes: List[Attribute] = [child_schema[name] for name in group_by]
+    for spec in aggregates:
+        source_attribute = child_schema[spec.input_attribute]
+        dtype = source_attribute.dtype
+        if spec.function in ("count",):
+            dtype = "int"
+        elif spec.function in ("sum", "product", "prob", "mystiq_prob"):
+            dtype = "float"
+        attributes.append(
+            Attribute(
+                spec.output_name,
+                dtype,
+                role=source_attribute.role,
+                source=source_attribute.source,
+            )
+        )
+    return Schema(attributes)
+
+
 @dataclass(frozen=True)
 class AggregateSpec:
     """One aggregate: ``function(input_attribute) AS output_name``."""
@@ -141,24 +172,7 @@ class GroupByOp(Operator):
         self.child = child
         self.group_by = list(group_by)
         self.aggregates = list(aggregates)
-        child_schema = child.schema
-        attributes: List[Attribute] = [child_schema[name] for name in self.group_by]
-        for spec in self.aggregates:
-            source_attribute = child_schema[spec.input_attribute]
-            dtype = source_attribute.dtype
-            if spec.function in ("count",):
-                dtype = "int"
-            elif spec.function in ("sum", "product", "prob", "mystiq_prob"):
-                dtype = "float"
-            attributes.append(
-                Attribute(
-                    spec.output_name,
-                    dtype,
-                    role=source_attribute.role,
-                    source=source_attribute.source,
-                )
-            )
-        self._schema = Schema(attributes)
+        self._schema = aggregate_output_schema(child.schema, self.group_by, self.aggregates)
 
     @property
     def schema(self) -> Schema:

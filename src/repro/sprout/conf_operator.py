@@ -125,7 +125,10 @@ def grp_statements(signature: Signature) -> List[str]:
 
 
 def reduce_relation(
-    answer: Relation, signature: Signature, steps: Optional[List[ConfStep]] = None
+    answer: Relation,
+    signature: Signature,
+    steps: Optional[List[ConfStep]] = None,
+    execution: str = "row",
 ) -> Tuple[Relation, str]:
     """Run the aggregation/propagation sequence of ``signature`` on ``answer``.
 
@@ -134,10 +137,12 @@ def reduce_relation(
     name.  This is the building block shared by the lazy GRP semantics
     (:func:`apply_semantics`) and by the eager/hybrid planners, which apply it
     at intermediate plan nodes with the node's restricted signature
-    (Section V.B).
+    (Section V.B).  ``execution="batch"`` runs each aggregation/propagation
+    pass columnar (identical results, fewer per-row interpreter trips).
     """
     current = answer
     recorded: List[ConfStep] = steps if steps is not None else []
+    batch_mode = execution == "batch"
 
     def aggregate(relation: Relation, table: str, signature_text: str) -> Relation:
         """GRP by every column except ``table``'s V/P pair (operator ``[α*]``)."""
@@ -145,15 +150,19 @@ def reduce_relation(
         var_column = _var_column(schema, table)
         prob_column = _prob_column(schema, table)
         group_by = [name for name in schema.names if name not in (var_column, prob_column)]
-        operator = GroupByOp(
-            MaterializedOp(relation),
-            group_by,
-            [
-                AggregateSpec("min", var_column, var_column),
-                AggregateSpec("prob", prob_column, prob_column),
-            ],
-        )
-        result = operator.to_relation(relation.name)
+        aggregates = [
+            AggregateSpec("min", var_column, var_column),
+            AggregateSpec("prob", prob_column, prob_column),
+        ]
+        if batch_mode:
+            from repro.algebra.columnar import ColumnBatch, group_by_columns
+
+            result = group_by_columns(
+                ColumnBatch.from_relation(relation), group_by, aggregates
+            ).to_relation(relation.name)
+        else:
+            operator = GroupByOp(MaterializedOp(relation), group_by, aggregates)
+            result = operator.to_relation(relation.name)
         recorded.append(
             ConfStep(
                 kind="aggregate",
@@ -176,12 +185,23 @@ def reduce_relation(
         kept_attributes = [a for a in schema if a.name not in (drop_var, drop_prob)]
         new_schema = Schema(kept_attributes)
         kept_indices = [schema.index_of(a.name) for a in kept_attributes]
-        result = Relation(relation.name, new_schema)
-        for row in relation:
-            values = list(row[i] for i in kept_indices)
-            # position of keep_prob in the kept columns
-            values[new_schema.index_of(keep_prob)] = row[keep_prob_index] * row[drop_prob_index]
-            result.append(tuple(values))
+        if batch_mode:
+            columns = relation.to_columns()
+            kept_columns = [columns[i] for i in kept_indices]
+            kept_columns[new_schema.index_of(keep_prob)] = [
+                keep * drop
+                for keep, drop in zip(columns[keep_prob_index], columns[drop_prob_index])
+            ]
+            result = Relation.from_columns(
+                relation.name, new_schema, kept_columns, length=len(relation)
+            )
+        else:
+            result = Relation(relation.name, new_schema)
+            for row in relation:
+                values = list(row[i] for i in kept_indices)
+                # position of keep_prob in the kept columns
+                values[new_schema.index_of(keep_prob)] = row[keep_prob_index] * row[drop_prob_index]
+                result.append(tuple(values))
         recorded.append(
             ConfStep(
                 kind="propagate",
@@ -217,7 +237,9 @@ def reduce_relation(
     return current, leader
 
 
-def apply_semantics(answer: Relation, signature: Signature) -> ConfOperatorResult:
+def apply_semantics(
+    answer: Relation, signature: Signature, execution: str = "row"
+) -> ConfOperatorResult:
     """Execute the Fig. 5 translation on ``answer``.
 
     ``answer`` must contain the data columns of the (projected) query answer
@@ -226,7 +248,7 @@ def apply_semantics(answer: Relation, signature: Signature) -> ConfOperatorResul
     probability of each distinct data tuple.
     """
     steps: List[ConfStep] = []
-    current, leader = reduce_relation(answer, signature, steps)
+    current, leader = reduce_relation(answer, signature, steps, execution=execution)
 
     # Final projection: keep the data columns and the leader's probability as "conf".
     schema = current.schema

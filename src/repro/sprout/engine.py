@@ -23,6 +23,16 @@ Independently of the plan style, the confidence computation method can be the
 scan-based operator (``scans``, Section V.C) or the literal GRP-sequence
 semantics (``semantics``, Fig. 5) — the latter exists for validation and for
 the ablation benchmark.
+
+Orthogonally to both, the *execution mode* selects the physical backend:
+
+``row``
+    The original iterator-model operators — one Python tuple at a time.
+``batch``
+    The columnar backend (:mod:`repro.algebra.columnar`): operators exchange
+    ~4k-row column chunks, selections/joins/aggregations run column-wise, and
+    the confidence operator scans a single ColumnBatch.  Produces bit-identical
+    answers; severalfold faster on TPC-H-sized inputs.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NonHierarchicalQueryError, PlanningError, UnsupportedQueryError
+from repro.algebra.columnar import DEFAULT_BATCH_ROWS, sort_batch
 from repro.algebra.operators import Operator
 from repro.prob.lineage import confidences_from_lineage
 from repro.prob.pdb import ProbabilisticDatabase
@@ -51,18 +62,26 @@ from repro.sprout.planner import (
     JoinOrderPlanner,
     _aggregate_pair,
     build_answer_plan,
+    build_answer_plan_batch,
     eager_evaluation,
     project_answer_columns,
 )
-from repro.sprout.scans import ScanSchedule, apply_scan_schedule
+from repro.sprout.scans import ScanSchedule, apply_scan_schedule, apply_scan_schedule_columns
 from repro.storage.heapfile import HeapFile
 from repro.storage.relation import Relation
 from repro.storage.schema import Attribute, ColumnRole, Schema
 
-__all__ = ["EvaluationResult", "SproutEngine", "PLAN_STYLES", "CONF_METHODS"]
+__all__ = [
+    "EvaluationResult",
+    "SproutEngine",
+    "PLAN_STYLES",
+    "CONF_METHODS",
+    "EXECUTION_MODES",
+]
 
 PLAN_STYLES = ("lazy", "eager", "hybrid", "lineage")
 CONF_METHODS = ("scans", "semantics")
+EXECUTION_MODES = ("row", "batch")
 
 
 @dataclass
@@ -73,6 +92,7 @@ class EvaluationResult:
     plan_style: str
     relation: Relation
     signature: Optional[Signature]
+    execution: str = "row"
     join_order: List[str] = field(default_factory=list)
     tuples_seconds: float = 0.0
     prob_seconds: float = 0.0
@@ -111,7 +131,7 @@ class EvaluationResult:
 
     def summary(self) -> str:
         return (
-            f"{self.query_name} [{self.plan_style}] "
+            f"{self.query_name} [{self.plan_style}/{self.execution}] "
             f"{self.distinct_tuples} distinct tuples from {self.answer_rows} answer rows, "
             f"tuples {self.tuples_seconds:.4f}s + prob {self.prob_seconds:.4f}s "
             f"({self.scans_used} scan(s))"
@@ -119,10 +139,29 @@ class EvaluationResult:
 
 
 class SproutEngine:
-    """Query engine over a :class:`ProbabilisticDatabase`."""
+    """Query engine over a :class:`ProbabilisticDatabase`.
 
-    def __init__(self, database: ProbabilisticDatabase):
+    ``execution`` selects the default physical backend for every evaluation:
+    ``"row"`` (the iterator-model operators) or ``"batch"`` (the columnar
+    backend processing ~``batch_size``-row column chunks).  Each
+    :meth:`evaluate` call may override it.
+    """
+
+    def __init__(
+        self,
+        database: ProbabilisticDatabase,
+        execution: str = "row",
+        batch_size: int = DEFAULT_BATCH_ROWS,
+    ):
+        if execution not in EXECUTION_MODES:
+            raise PlanningError(
+                f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
+            )
+        if batch_size < 1:
+            raise PlanningError(f"batch_size must be positive, got {batch_size}")
         self.database = database
+        self.execution = execution
+        self.batch_size = batch_size
         self.planner = JoinOrderPlanner(database)
 
     # -- static analysis --------------------------------------------------------
@@ -207,13 +246,24 @@ class SproutEngine:
         conf_method: str = "scans",
         join_order: Optional[Sequence[str]] = None,
         materialize_to_disk: bool = False,
+        execution: Optional[str] = None,
     ) -> EvaluationResult:
-        """Compute the distinct answer tuples of ``query`` and their confidences."""
+        """Compute the distinct answer tuples of ``query`` and their confidences.
+
+        ``execution`` overrides the engine's default backend for this call
+        (``"row"`` or ``"batch"``).
+        """
         if plan not in PLAN_STYLES:
             raise PlanningError(f"unknown plan style {plan!r}; choose from {PLAN_STYLES}")
         if conf_method not in CONF_METHODS:
             raise PlanningError(
                 f"unknown confidence method {conf_method!r}; choose from {CONF_METHODS}"
+            )
+        if execution is None:
+            execution = self.execution
+        elif execution not in EXECUTION_MODES:
+            raise PlanningError(
+                f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
             )
         uncovered = query.uncovered_selections()
         if uncovered:
@@ -222,20 +272,30 @@ class SproutEngine:
                 f"({[str(p) for p in uncovered]}); only per-table selections are supported"
             )
         if plan == "lineage":
-            return self._evaluate_lineage(query, join_order)
+            return self._evaluate_lineage(query, join_order, execution)
         if plan == "lazy":
+            if execution == "batch":
+                return self._evaluate_lazy_batch(
+                    query, use_fds, conf_method, join_order, materialize_to_disk
+                )
             return self._evaluate_lazy(
                 query, use_fds, conf_method, join_order, materialize_to_disk
             )
-        return self._evaluate_eager_or_hybrid(query, plan, use_fds)
+        return self._evaluate_eager_or_hybrid(query, plan, use_fds, execution)
 
     # -- lazy plans -------------------------------------------------------------------
 
     def _answer_relation(
-        self, query: ConjunctiveQuery, join_order: Optional[Sequence[str]]
+        self,
+        query: ConjunctiveQuery,
+        join_order: Optional[Sequence[str]],
+        execution: str = "row",
     ) -> Tuple[Relation, List[str], int]:
         order = list(join_order) if join_order else self.planner.lazy_join_order(query)
-        plan = build_answer_plan(self.database, query, order)
+        if execution == "batch":
+            plan = build_answer_plan_batch(self.database, query, order, self.batch_size)
+        else:
+            plan = build_answer_plan(self.database, query, order)
         plan = project_answer_columns(plan, query)
         relation = plan.to_relation(query.name)
         return relation, order, plan.total_rows_processed()
@@ -287,10 +347,70 @@ class SproutEngine:
             scan_schedule=schedule,
         )
 
+    def _evaluate_lazy_batch(
+        self,
+        query: ConjunctiveQuery,
+        use_fds: bool,
+        conf_method: str,
+        join_order: Optional[Sequence[str]],
+        materialize_to_disk: bool,
+    ) -> EvaluationResult:
+        """Columnar twin of :meth:`_evaluate_lazy`.
+
+        The answer never takes row form between the scans and the confidence
+        computation: batches flow through the columnar join pipeline, are
+        concatenated into one ColumnBatch, sorted column-wise, and handed to
+        the columnar scan-based operator.
+        """
+        signature = self.signature_for(query, use_fds)
+
+        started = perf_counter()
+        order = list(join_order) if join_order else self.planner.lazy_join_order(query)
+        plan = build_answer_plan_batch(self.database, query, order, self.batch_size)
+        plan = project_answer_columns(plan, query)
+        answer = plan.to_batch(query.name)
+        rows_processed = plan.total_rows_processed()
+        sort_order = sort_column_order(answer.schema, signature)
+        answer = sort_batch(answer, sort_order)
+        if materialize_to_disk:
+            heap = HeapFile(answer.schema)
+            heap.write_rows(answer.rows())
+            heap.close()
+        tuples_seconds = perf_counter() - started
+
+        started = perf_counter()
+        schedule: Optional[ScanSchedule] = None
+        if conf_method == "semantics":
+            result_relation = apply_semantics(
+                answer.to_relation(query.name), signature, execution="batch"
+            ).relation
+            scans_used = 0
+        else:
+            result_relation, schedule = apply_scan_schedule_columns(
+                answer, signature, presorted=True, name=query.name
+            )
+            scans_used = schedule.total_scans
+        prob_seconds = perf_counter() - started
+
+        return EvaluationResult(
+            query_name=query.name,
+            plan_style="lazy",
+            relation=result_relation,
+            signature=signature,
+            execution="batch",
+            join_order=order,
+            tuples_seconds=tuples_seconds,
+            prob_seconds=prob_seconds,
+            answer_rows=len(answer),
+            rows_processed=rows_processed,
+            scans_used=scans_used,
+            scan_schedule=schedule,
+        )
+
     # -- eager / hybrid plans ------------------------------------------------------------
 
     def _evaluate_eager_or_hybrid(
-        self, query: ConjunctiveQuery, plan: str, use_fds: bool
+        self, query: ConjunctiveQuery, plan: str, use_fds: bool, execution: str = "row"
     ) -> EvaluationResult:
         signature = self.signature_for(query, use_fds)
         tree = self.hierarchy_for(query, use_fds)
@@ -304,6 +424,8 @@ class SproutEngine:
             signature,
             aggregate_leaves=(plan == "eager"),
             head_attributes=self.planning_head(query, use_fds),
+            execution=execution,
+            batch_size=self.batch_size,
         )
         # Project away the functionally determined companions of the head that
         # were carried along for the joins, then aggregate by the true head so
@@ -314,7 +436,7 @@ class SproutEngine:
         keep += [pair.var_name, pair.prob_name]
         if keep != list(final.schema.names):
             final = final.project(keep)
-        final = _aggregate_pair(final, node_result.leader)
+        final = _aggregate_pair(final, node_result.leader, execution=execution)
         elapsed = perf_counter() - started
 
         relation = self._finalize(final, query)
@@ -323,6 +445,7 @@ class SproutEngine:
             plan_style=plan,
             relation=relation,
             signature=signature,
+            execution=execution,
             join_order=order,
             tuples_seconds=elapsed,
             prob_seconds=0.0,
@@ -334,10 +457,13 @@ class SproutEngine:
     # -- lineage fallback ---------------------------------------------------------------
 
     def _evaluate_lineage(
-        self, query: ConjunctiveQuery, join_order: Optional[Sequence[str]]
+        self,
+        query: ConjunctiveQuery,
+        join_order: Optional[Sequence[str]],
+        execution: str = "row",
     ) -> EvaluationResult:
         started = perf_counter()
-        answer, order, rows_processed = self._answer_relation(query, join_order)
+        answer, order, rows_processed = self._answer_relation(query, join_order, execution)
         tuples_seconds = perf_counter() - started
 
         started = perf_counter()
@@ -354,6 +480,7 @@ class SproutEngine:
             plan_style="lineage",
             relation=relation,
             signature=None,
+            execution=execution,
             join_order=order,
             tuples_seconds=tuples_seconds,
             prob_seconds=prob_seconds,

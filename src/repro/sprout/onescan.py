@@ -48,6 +48,9 @@ __all__ = [
     "one_scan_operator",
     "OneScanState",
     "streaming_scan_confidences",
+    "columnar_bag_probability",
+    "columnar_scan_confidences",
+    "one_scan_operator_columns",
 ]
 
 Row = Tuple[object, ...]
@@ -239,6 +242,176 @@ def one_scan_operator(
     result = Relation(name or answer.name, result_schema)
     for data, confidence in scan_confidences(rows, columns, signature):
         result.append(data + (confidence,))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Columnar (batch) evaluation: the same factorised semantics over columns
+# ---------------------------------------------------------------------------
+#
+# The batch execution backend hands the operator one ColumnBatch of the sorted
+# answer instead of row tuples.  Bags and partitions are then ranges/lists of
+# *row indices* into the shared column lists, so no row tuples are ever built
+# and each recursion step touches only the one or two columns it needs.  The
+# arithmetic (and its order) is identical to ``group_probability``, which
+# makes the two paths produce bit-identical confidences.
+
+
+def columnar_bag_probability(
+    signature: Signature,
+    indices: Sequence[int],
+    var_columns: Dict[str, Sequence[object]],
+    prob_columns: Dict[str, Sequence[float]],
+) -> float:
+    """Probability of one bag of duplicates given as row indices into columns.
+
+    Mirrors :func:`group_probability` exactly — same traversal, same grouping
+    order, same multiplication order — over column-oriented storage.
+    """
+    if not indices:
+        raise ProbabilityError("cannot compute the probability of an empty bag")
+    if isinstance(signature, TableSig):
+        variable_column = var_columns[signature.table]
+        variables = {variable_column[i] for i in indices}
+        if len(variables) != 1:
+            raise ProbabilityError(
+                f"signature promises a single {signature.table} variable per group but found "
+                f"{len(variables)}; the signature (or its FD refinement) is too precise "
+                "for this data"
+            )
+        return prob_columns[signature.table][indices[0]]
+    if isinstance(signature, ConcatSig):
+        probability = 1.0
+        for part in signature.parts:
+            probability *= columnar_bag_probability(
+                part, _distinct_indices(part, indices, var_columns), var_columns, prob_columns
+            )
+        return probability
+    if isinstance(signature, StarSig):
+        inner = signature.inner
+        if isinstance(inner, TableSig):
+            variable_column = var_columns[inner.table]
+            probability_column = prob_columns[inner.table]
+            none_true = 1.0
+            seen = set()
+            for i in indices:
+                variable = variable_column[i]
+                if variable in seen:
+                    continue
+                seen.add(variable)
+                none_true *= 1.0 - probability_column[i]
+            return 1.0 - none_true
+        parts = inner.top_level_parts()
+        leader = next((p.table for p in parts if isinstance(p, TableSig)), None)
+        if leader is None:
+            raise QueryError(
+                f"signature {signature} lacks the 1scan property; "
+                "pre-aggregate with repro.sprout.scans first"
+            )
+        leader_column = var_columns[leader]
+        partitions: Dict[object, List[int]] = {}
+        for i in indices:
+            partitions.setdefault(leader_column[i], []).append(i)
+        none_true = 1.0
+        for partition_indices in partitions.values():
+            partition_probability = 1.0
+            for part in parts:
+                partition_probability *= columnar_bag_probability(
+                    part,
+                    _distinct_indices(part, partition_indices, var_columns),
+                    var_columns,
+                    prob_columns,
+                )
+            none_true *= 1.0 - partition_probability
+        return 1.0 - none_true
+    raise QueryError(f"unknown signature node {signature!r}")
+
+
+def _distinct_indices(
+    part: Signature,
+    indices: Sequence[int],
+    var_columns: Dict[str, Sequence[object]],
+) -> List[int]:
+    """Row indices distinct with respect to the variable columns of ``part``.
+
+    The columnar counterpart of :func:`_distinct_for`: first occurrence wins,
+    order is preserved.  The common single-table case avoids tuple packing.
+    """
+    columns = [var_columns[table] for table in part.tables() if table in var_columns]
+    seen = set()
+    result: List[int] = []
+    if len(columns) == 1:
+        column = columns[0]
+        for i in indices:
+            key = column[i]
+            if key in seen:
+                continue
+            seen.add(key)
+            result.append(i)
+        return result
+    for i in indices:
+        key = tuple(column[i] for column in columns)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(i)
+    return result
+
+
+def columnar_scan_confidences(
+    batch: "ColumnBatch",
+    signature: Signature,
+) -> Iterator[Tuple[Tuple[object, ...], float]]:
+    """Yield ``(data_tuple, confidence)`` per bag of a sorted column batch.
+
+    The batch must be sorted by the data columns first and by the variable
+    columns in signature order within each bag (see :func:`sort_column_order`).
+    """
+    columns = ColumnMap(batch.schema)
+    var_columns = {table: batch.columns[i] for table, i in columns.var_index.items()}
+    prob_columns = {table: batch.columns[i] for table, i in columns.prob_index.items()}
+    data_columns = [batch.columns[i] for i in columns.data_indices]
+    total = len(batch)
+    if total == 0:
+        return
+    if data_columns:
+        if len(data_columns) == 1:
+            keys: Sequence[Tuple[object, ...]] = [(v,) for v in data_columns[0]]
+        else:
+            keys = list(zip(*data_columns))
+    else:
+        # Boolean query: every row belongs to the single empty data tuple.
+        keys = [()] * total
+    start = 0
+    for position in range(1, total):
+        if keys[position] != keys[start]:
+            yield keys[start], columnar_bag_probability(
+                signature, range(start, position), var_columns, prob_columns
+            )
+            start = position
+    yield keys[start], columnar_bag_probability(
+        signature, range(start, total), var_columns, prob_columns
+    )
+
+
+def one_scan_operator_columns(
+    batch: "ColumnBatch",
+    signature: Signature,
+    presorted: bool = False,
+    name: Optional[str] = None,
+) -> Relation:
+    """Columnar form of :func:`one_scan_operator` over a :class:`ColumnBatch`."""
+    from repro.algebra.columnar import sort_batch
+
+    if not presorted:
+        batch = sort_batch(batch, sort_column_order(batch.schema, signature))
+    columns = ColumnMap(batch.schema)
+    data_attributes = [batch.schema[batch.schema.names[i]] for i in columns.data_indices]
+    result_schema = Schema(list(data_attributes) + [Attribute("conf", "float")])
+    result = Relation(name or "result", result_schema)
+    rows = result.rows
+    for data, confidence in columnar_scan_confidences(batch, signature):
+        rows.append(data + (confidence,))
     return result
 
 

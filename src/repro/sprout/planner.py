@@ -21,6 +21,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlanningError, QueryError
 from repro.algebra.aggregate import AggregateSpec, GroupByOp
+from repro.algebra.columnar import (
+    DEFAULT_BATCH_ROWS,
+    BatchHashJoinOp,
+    BatchMaterializedOp,
+    BatchOperator,
+    BatchProjectOp,
+    BatchScanOp,
+    BatchSelectOp,
+    ColumnBatch,
+    group_by_columns,
+)
 from repro.algebra.expressions import Predicate, TruePredicate
 from repro.algebra.joins import HashJoinOp, natural_join_attributes
 from repro.algebra.operators import MaterializedOp, Operator, ProjectOp, ScanOp, SelectOp
@@ -34,7 +45,9 @@ from repro.storage.schema import ColumnRole, Schema
 __all__ = [
     "JoinOrderPlanner",
     "base_table_plan",
+    "base_table_plan_batch",
     "build_answer_plan",
+    "build_answer_plan_batch",
     "needed_data_attributes",
     "evaluate_deterministic",
     "eager_evaluation",
@@ -138,6 +151,26 @@ class JoinOrderPlanner:
         return collect(tree)
 
 
+def base_table_plan_batch(
+    database: ProbabilisticDatabase,
+    query: ConjunctiveQuery,
+    table: str,
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> BatchOperator:
+    """Columnar scan → select → project plan for one base probabilistic table."""
+    relation = database.relation(table)
+    plan: BatchOperator = BatchScanOp(relation, alias=table, batch_size=batch_size)
+    selection = query.selections_on(table)
+    if not isinstance(selection, TruePredicate):
+        plan = BatchSelectOp(plan, selection)
+    table_obj = database.table(table)
+    keep = needed_data_attributes(query, table)
+    keep = keep + [table_obj.var_column, table_obj.prob_column]
+    if list(keep) != list(relation.schema.names):
+        plan = BatchProjectOp(plan, keep)
+    return plan
+
+
 def build_answer_plan(
     database: ProbabilisticDatabase,
     query: ConjunctiveQuery,
@@ -156,11 +189,36 @@ def build_answer_plan(
     return plan
 
 
-def project_answer_columns(plan: Operator, query: ConjunctiveQuery) -> Operator:
-    """Project the joined result onto the head attributes plus all V/P pairs."""
+def build_answer_plan_batch(
+    database: ProbabilisticDatabase,
+    query: ConjunctiveQuery,
+    join_order: Sequence[str],
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> BatchOperator:
+    """Columnar twin of :func:`build_answer_plan` (same shape, same order)."""
+    if set(join_order) != set(query.table_names()):
+        raise PlanningError(
+            f"join order {list(join_order)} does not cover the query tables "
+            f"{query.table_names()}"
+        )
+    plan = base_table_plan_batch(database, query, join_order[0], batch_size)
+    for table in join_order[1:]:
+        right = base_table_plan_batch(database, query, table, batch_size)
+        plan = BatchHashJoinOp(plan, right)
+    return plan
+
+
+def project_answer_columns(plan, query: ConjunctiveQuery):
+    """Project the joined result onto the head attributes plus all V/P pairs.
+
+    Works for both the row (:class:`Operator`) and batch
+    (:class:`BatchOperator`) plan flavours.
+    """
     schema = plan.schema
     keep = [a for a in query.projection if a in schema]
     keep += [a.name for a in schema if a.role is not ColumnRole.DATA]
+    if isinstance(plan, BatchOperator):
+        return BatchProjectOp(plan, keep)
     return ProjectOp(plan, keep)
 
 
@@ -211,7 +269,7 @@ def _pairs_of(schema: Schema) -> List[str]:
     return [pair.source for pair in schema.var_prob_pairs()]
 
 
-def _aggregate_pair(relation: Relation, leader: str) -> Relation:
+def _aggregate_pair(relation: Relation, leader: str, execution: str = "row") -> Relation:
     """Operator ``[leader*]``: GRP by every other column, min(V) / prob(P)."""
     schema = relation.schema
     pair = next(p for p in schema.var_prob_pairs() if p.source == leader)
@@ -220,14 +278,14 @@ def _aggregate_pair(relation: Relation, leader: str) -> Relation:
         for name in schema.names
         if name not in (pair.var_name, pair.prob_name)
     ]
-    operator = GroupByOp(
-        MaterializedOp(relation),
-        group_by,
-        [
-            AggregateSpec("min", pair.var_name, pair.var_name),
-            AggregateSpec("prob", pair.prob_name, pair.prob_name),
-        ],
-    )
+    aggregates = [
+        AggregateSpec("min", pair.var_name, pair.var_name),
+        AggregateSpec("prob", pair.prob_name, pair.prob_name),
+    ]
+    if execution == "batch":
+        batch = group_by_columns(ColumnBatch.from_relation(relation), group_by, aggregates)
+        return batch.to_relation(relation.name)
+    operator = GroupByOp(MaterializedOp(relation), group_by, aggregates)
     return operator.to_relation(relation.name)
 
 
@@ -257,6 +315,8 @@ def eager_evaluation(
     signature: "Signature",
     aggregate_leaves: bool = True,
     head_attributes: Optional[Iterable[str]] = None,
+    execution: str = "row",
+    batch_size: int = DEFAULT_BATCH_ROWS,
 ) -> EagerNodeResult:
     """Evaluate ``query`` with eager (or hybrid) aggregation along ``tree``.
 
@@ -265,6 +325,13 @@ def eager_evaluation(
     the hybrid plan of Fig. 7(b): aggregation operators on top of the input
     tables are dropped (they are expensive on large tables and useless under
     selective joins) but intermediate join results are still aggregated.
+
+    ``execution="batch"`` runs the joins and aggregations columnar.
+    Intermediate node results are still materialised as row relations between
+    steps (the hierarchy recursion and :func:`reduce_relation` exchange
+    relations), so each node pays a row<->column transposition; keeping the
+    intermediates columnar end-to-end is a known follow-up optimisation — the
+    lazy plan, which is the paper's fast path, already avoids all of it.
 
     At every inner node the probability computation operator placed there uses
     the signature obtained by the placement rules of Section V.B: the query
@@ -293,18 +360,23 @@ def eager_evaluation(
         keep += [a.name for a in schema if a.role is not ColumnRole.DATA]
         return keep
 
+    batch = execution == "batch"
+
     def evaluate(node: HierarchyNode, parent_attributes: Iterable[str]) -> EagerNodeResult:
         nonlocal rows_processed
         if node.is_leaf:
             table = node.atom.table
-            plan = base_table_plan(database, query, table)
+            if batch:
+                plan = base_table_plan_batch(database, query, table, batch_size)
+            else:
+                plan = base_table_plan(database, query, table)
             relation = plan.to_relation(table)
             rows_processed += plan.total_rows_processed()
             keep = columns_to_keep(relation.schema, parent_attributes)
             if keep != list(relation.schema.names):
                 relation = relation.project(keep)
             if aggregate_leaves:
-                relation = _aggregate_pair(relation, table)
+                relation = _aggregate_pair(relation, table, execution=execution)
             return EagerNodeResult(
                 relation=relation,
                 leader=table,
@@ -312,9 +384,16 @@ def eager_evaluation(
             )
 
         child_results = [evaluate(child, node.attributes) for child in node.children]
-        plan: Operator = MaterializedOp(child_results[0].relation)
-        for child in child_results[1:]:
-            plan = HashJoinOp(plan, MaterializedOp(child.relation))
+        if batch:
+            plan = BatchMaterializedOp(child_results[0].relation, batch_size=batch_size)
+            for child in child_results[1:]:
+                plan = BatchHashJoinOp(
+                    plan, BatchMaterializedOp(child.relation, batch_size=batch_size)
+                )
+        else:
+            plan = MaterializedOp(child_results[0].relation)
+            for child in child_results[1:]:
+                plan = HashJoinOp(plan, MaterializedOp(child.relation))
         joined = plan.to_relation(query.name)
         rows_processed += plan.total_rows_processed()
 
@@ -334,7 +413,7 @@ def eager_evaluation(
             raise PlanningError(
                 f"signature {signature} does not cover any of the pairs {present_tables}"
             )
-        reduced_relation, leader = reduce_relation(joined, local_signature)
+        reduced_relation, leader = reduce_relation(joined, local_signature, execution=execution)
         return EagerNodeResult(relation=reduced_relation, leader=leader)
 
     result = evaluate(tree, parent_attributes=())

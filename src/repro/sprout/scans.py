@@ -25,10 +25,21 @@ from repro.query.signature import (
     has_one_scan_property,
     num_scans,
 )
-from repro.sprout.onescan import ColumnMap, one_scan_operator
+from repro.sprout.onescan import (
+    ColumnMap,
+    columnar_bag_probability,
+    one_scan_operator,
+    one_scan_operator_columns,
+)
 from repro.storage.relation import Relation
 
-__all__ = ["ScanStep", "ScanSchedule", "schedule_scans", "apply_scan_schedule"]
+__all__ = [
+    "ScanStep",
+    "ScanSchedule",
+    "schedule_scans",
+    "apply_scan_schedule",
+    "apply_scan_schedule_columns",
+]
 
 
 @dataclass(frozen=True)
@@ -210,6 +221,75 @@ def _run_pre_aggregation(answer: Relation, step: ScanStep) -> Relation:
         representative_variable = min(row[var_index] for row in rows)
         result.append(key + (representative_variable, probability))
     return result
+
+
+def _run_pre_aggregation_columns(batch, step: ScanStep):
+    """Columnar counterpart of :func:`_run_pre_aggregation` over a ColumnBatch.
+
+    Same grouping (insertion order), same aggregates, same output column
+    order, so the batch path reproduces the row path's results exactly.
+    """
+    from repro.algebra.columnar import ColumnBatch, build_group_buckets, group_by_columns
+
+    part = step.sub_signature
+    tables = part.tables()
+    representative = step.aggregated_table
+    columns = ColumnMap(batch.schema)
+    part_columns = set()
+    for table in tables:
+        part_columns.add(batch.schema.names[columns.var_index[table]])
+        part_columns.add(batch.schema.names[columns.prob_index[table]])
+    group_by = [name for name in batch.schema.names if name not in part_columns]
+
+    var_column = batch.schema.names[columns.var_index[representative]]
+    prob_column = batch.schema.names[columns.prob_index[representative]]
+
+    if isinstance(part, StarSig) and isinstance(part.inner, TableSig):
+        # Plain [T*]: a single GRP statement suffices.
+        return group_by_columns(
+            batch,
+            group_by,
+            [
+                AggregateSpec("min", var_column, var_column),
+                AggregateSpec("prob", prob_column, prob_column),
+            ],
+        )
+
+    # Composite sub-operator: evaluate its factorisation per group.
+    group_indices = batch.schema.indices_of(group_by)
+    kept_names = group_by + [var_column, prob_column]
+    kept_schema = batch.schema.project(kept_names)
+
+    group_columns, first_rows, buckets = build_group_buckets(batch, group_indices)
+    var_columns = {table: batch.columns[i] for table, i in columns.var_index.items()}
+    prob_columns = {table: batch.columns[i] for table, i in columns.prob_index.items()}
+    representative_var = var_columns[representative]
+    out_columns = [[column[i] for i in first_rows] for column in group_columns]
+    out_columns.append([min(representative_var[i] for i in bucket) for bucket in buckets])
+    out_columns.append(
+        [
+            columnar_bag_probability(part, bucket, var_columns, prob_columns)
+            for bucket in buckets
+        ]
+    )
+    return ColumnBatch(kept_schema, out_columns, len(buckets))
+
+
+def apply_scan_schedule_columns(
+    batch,
+    signature: Signature,
+    presorted: bool = False,
+    name: str = "result",
+) -> Tuple[Relation, ScanSchedule]:
+    """Columnar form of :func:`apply_scan_schedule` over a ColumnBatch."""
+    schedule = schedule_scans(signature)
+    current = batch
+    for step in schedule.pre_aggregations:
+        current = _run_pre_aggregation_columns(current, step)
+    result = one_scan_operator_columns(
+        current, schedule.final_signature, presorted=presorted, name=name
+    )
+    return result, schedule
 
 
 def apply_scan_schedule(

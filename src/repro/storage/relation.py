@@ -26,7 +26,7 @@ class Relation:
     paper's treatment of answer relations before duplicate elimination.
     """
 
-    __slots__ = ("name", "schema", "_rows")
+    __slots__ = ("name", "schema", "_rows", "_columns_cache")
 
     def __init__(
         self,
@@ -38,6 +38,7 @@ class Relation:
         self.name = name
         self.schema = schema
         self._rows: List[Row] = []
+        self._columns_cache: Optional[Tuple[int, List[List[object]]]] = None
         if rows is not None:
             self.extend(rows, validate=validate)
 
@@ -51,6 +52,59 @@ class Relation:
         names = schema.names
         rows = [tuple(d.get(n) for n in names) for d in dicts]
         return cls(name, schema, rows)
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        schema: Schema,
+        columns: Sequence[Sequence[object]],
+        length: Optional[int] = None,
+    ) -> "Relation":
+        """Build a relation from parallel columns (the columnar backend's exit).
+
+        ``zip`` transposes at C speed, so this is much cheaper than appending
+        row by row.  ``length`` must be given for zero-column schemas, where
+        the row count cannot be recovered from the columns.
+        """
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"column count {len(columns)} does not match schema arity {len(schema)}"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise SchemaError(
+                f"ragged columns: lengths {sorted(lengths)} differ "
+                "(zip would silently truncate)"
+            )
+        out = cls(name, schema)
+        if columns:
+            out._rows = list(zip(*columns))
+        else:
+            out._rows = [()] * (length or 0)
+        return out
+
+    def to_columns(self) -> List[List[object]]:
+        """Transpose the rows into one list per column (schema order)."""
+        if not self._rows:
+            return [[] for _ in self.schema]
+        return [list(column) for column in zip(*self._rows)]
+
+    def columns_cached(self) -> List[List[object]]:
+        """Column view of the relation, cached between calls.
+
+        The columnar scan operator reads base tables through this so that a
+        table is transposed at most once, like a column store would keep it.
+        The cache is keyed on the row count: appends invalidate it, and no
+        code path replaces rows without changing the count.  Treat the
+        returned lists as read-only.
+        """
+        cached = self._columns_cache
+        if cached is not None and cached[0] == len(self._rows):
+            return cached[1]
+        columns = self.to_columns()
+        self._columns_cache = (len(self._rows), columns)
+        return columns
 
     def empty_like(self, name: Optional[str] = None) -> "Relation":
         """Return an empty relation with the same schema."""

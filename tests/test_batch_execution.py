@@ -1,0 +1,284 @@
+"""Differential tests: batch (columnar) execution against row execution.
+
+The batch backend is designed to be *bit-identical* with the row backend:
+same answer relations, same confidences, same work metrics.  These tests pin
+that down on the paper's Fig. 1 database, on a TPC-H instance, and on
+Hypothesis-generated random tuple-independent databases; the scan-based
+confidence evaluators (recursive, streaming, columnar) are also checked
+against each other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Atom, ConjunctiveQuery, SproutEngine
+from repro.errors import PlanningError, QueryError
+from repro.query.signature import has_one_scan_property
+from repro.sprout import (
+    EXECUTION_MODES,
+    ColumnMap,
+    columnar_scan_confidences,
+    scan_confidences,
+    sort_column_order,
+    streaming_scan_confidences,
+)
+from repro.algebra.columnar import ColumnBatch
+
+from helpers import assert_confidences_close, build_paper_database, paper_query
+from test_properties import three_table_database, two_table_database
+
+ALL_PLANS = ("lazy", "eager", "hybrid", "lineage")
+
+
+def assert_identical_results(row_result, batch_result):
+    """Batch execution must reproduce the row relation exactly (bit-identical)."""
+    assert batch_result.relation.schema == row_result.relation.schema
+    assert sorted(batch_result.relation.rows, key=repr) == sorted(
+        row_result.relation.rows, key=repr
+    )
+    assert batch_result.confidences() == row_result.confidences()
+    assert batch_result.answer_rows == row_result.answer_rows
+    assert batch_result.rows_processed == row_result.rows_processed
+    assert batch_result.scans_used == row_result.scans_used
+
+
+class TestExecutionModeSelection:
+    def test_engine_default_is_row(self, paper_db):
+        assert SproutEngine(paper_db).execution == "row"
+
+    def test_unknown_engine_mode_rejected(self, paper_db):
+        with pytest.raises(PlanningError):
+            SproutEngine(paper_db, execution="gpu")
+
+    def test_unknown_call_mode_rejected(self, paper_engine, paper_q):
+        with pytest.raises(PlanningError):
+            paper_engine.evaluate(paper_q, execution="gpu")
+
+    def test_invalid_batch_size_rejected(self, paper_db):
+        with pytest.raises(PlanningError):
+            SproutEngine(paper_db, batch_size=0)
+
+    def test_engine_level_batch_default(self, paper_db, paper_q):
+        engine = SproutEngine(paper_db, execution="batch")
+        result = engine.evaluate(paper_q)
+        assert result.execution == "batch"
+        row = SproutEngine(paper_db).evaluate(paper_q)
+        assert_identical_results(row, result)
+
+    def test_modes_are_published(self):
+        assert EXECUTION_MODES == ("row", "batch")
+
+
+class TestPaperDatabase:
+    @pytest.mark.parametrize("plan", ALL_PLANS)
+    def test_all_plan_styles_bit_identical(self, paper_engine, paper_q, plan):
+        row = paper_engine.evaluate(paper_q, plan=plan)
+        batch = paper_engine.evaluate(paper_q, plan=plan, execution="batch")
+        assert_identical_results(row, batch)
+
+    @pytest.mark.parametrize("conf_method", ["scans", "semantics"])
+    def test_conf_methods_bit_identical(self, paper_engine, paper_q, conf_method):
+        row = paper_engine.evaluate(paper_q, conf_method=conf_method)
+        batch = paper_engine.evaluate(paper_q, conf_method=conf_method, execution="batch")
+        assert_identical_results(row, batch)
+
+    @pytest.mark.parametrize("use_fds", [True, False])
+    def test_fd_toggle_bit_identical(self, paper_engine, paper_q, use_fds):
+        row = paper_engine.evaluate(paper_q, use_fds=use_fds)
+        batch = paper_engine.evaluate(paper_q, use_fds=use_fds, execution="batch")
+        assert_identical_results(row, batch)
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 4096])
+    def test_batch_size_does_not_change_results(self, paper_db, paper_q, batch_size):
+        row = SproutEngine(paper_db).evaluate(paper_q)
+        batch = SproutEngine(paper_db, execution="batch", batch_size=batch_size).evaluate(paper_q)
+        assert_identical_results(row, batch)
+
+    def test_empty_answer(self, paper_engine, paper_db):
+        from repro.algebra import Comparison
+
+        query = ConjunctiveQuery(
+            "empty",
+            [Atom("Cust", ["ckey", "cname"])],
+            projection=["cname"],
+            selections=Comparison("cname", "=", "nobody"),
+        )
+        row = paper_engine.evaluate(query)
+        batch = paper_engine.evaluate(query, execution="batch")
+        assert_identical_results(row, batch)
+        assert batch.distinct_tuples == 0
+
+    def test_boolean_query(self, paper_engine):
+        query = ConjunctiveQuery(
+            "bool",
+            [Atom("Cust", ["ckey", "cname"]), Atom("Ord", ["okey", "ckey", "odate"])],
+        )
+        row = paper_engine.evaluate(query)
+        batch = paper_engine.evaluate(query, execution="batch")
+        assert_identical_results(row, batch)
+        assert batch.boolean_confidence() == row.boolean_confidence()
+
+    def test_disconnected_query_cross_product(self):
+        # R and S share no attribute, so the answer plan contains a cross join
+        # (empty join key) — a regression case where the batch join once
+        # returned an empty result.
+        from repro import ProbabilisticDatabase
+        from repro.storage import Relation, Schema
+
+        db = ProbabilisticDatabase("cross")
+        db.add_table(
+            Relation("R", Schema.of("a:int"), [(1,), (2,)]),
+            probabilities=[0.5, 0.5],
+            primary_key=["a"],
+        )
+        db.add_table(
+            Relation("S", Schema.of("b:int"), [(7,)]),
+            probabilities=[0.5],
+            primary_key=["b"],
+        )
+        engine = SproutEngine(db)
+        query = ConjunctiveQuery("cross", [Atom("R", ["a"]), Atom("S", ["b"])], projection=["a"])
+        for plan in ALL_PLANS:
+            row = engine.evaluate(query, plan=plan)
+            batch = engine.evaluate(query, plan=plan, execution="batch")
+            assert row.distinct_tuples == 2
+            assert_identical_results(row, batch)
+
+
+class TestTpchDatabase:
+    """Differential check on the shared tiny TPC-H instance (SF 0.001)."""
+
+    @pytest.mark.parametrize("key", ["1", "3", "10", "15", "16", "B17", "18", "20", "21"])
+    def test_lazy_bit_identical(self, tpch_engine, key):
+        from repro.tpch import tpch_query
+
+        query = tpch_query(key).query
+        row = tpch_engine.evaluate(query, plan="lazy")
+        batch = tpch_engine.evaluate(query, plan="lazy", execution="batch")
+        assert_identical_results(row, batch)
+        assert_confidences_close(batch.confidences(), row.confidences(), 1e-9)
+
+    @pytest.mark.parametrize("plan", ["eager", "hybrid"])
+    def test_eager_hybrid_bit_identical(self, tpch_engine, plan):
+        from repro.tpch import tpch_query
+
+        for key in ("3", "16", "18"):
+            query = tpch_query(key).query
+            row = tpch_engine.evaluate(query, plan=plan)
+            batch = tpch_engine.evaluate(query, plan=plan, execution="batch")
+            assert_identical_results(row, batch)
+
+
+@pytest.mark.slow
+class TestTpchScaleFactor002:
+    """The acceptance-criterion scale: fresh TPC-H at SF 0.002."""
+
+    @pytest.fixture(scope="class")
+    def engine_002(self):
+        from repro.tpch import probabilistic_tpch
+
+        return SproutEngine(probabilistic_tpch(scale_factor=0.002, seed=7, probability_seed=11))
+
+    def test_figure9_queries_within_tolerance(self, engine_002):
+        from repro.tpch import FIGURE9_KEYS, tpch_query
+
+        for key in FIGURE9_KEYS:
+            query = tpch_query(key).query
+            row = engine_002.evaluate(query, plan="lazy")
+            batch = engine_002.evaluate(query, plan="lazy", execution="batch")
+            assert_confidences_close(batch.confidences(), row.confidences(), 1e-9)
+            assert_identical_results(row, batch)
+
+
+class TestRandomDatabases:
+    """Hypothesis: random tuple-independent databases, row vs batch."""
+
+    @given(two_table_database())
+    @settings(max_examples=20, deadline=None)
+    def test_two_table_row_vs_batch(self, db):
+        engine = SproutEngine(db, batch_size=2)
+        for projection in (["a"], ["b"], []):
+            query = ConjunctiveQuery(
+                f"q{'-'.join(projection)}",
+                [Atom("R", ["a"]), Atom("S", ["a", "b"])],
+                projection=projection,
+            )
+            for plan in ALL_PLANS:
+                row = engine.evaluate(query, plan=plan)
+                batch = engine.evaluate(query, plan=plan, execution="batch")
+                assert_identical_results(row, batch)
+
+    @given(three_table_database())
+    @settings(max_examples=15, deadline=None)
+    def test_three_table_row_vs_batch(self, db):
+        engine = SproutEngine(db)
+        for projection in ([], ["d"], ["c"]):
+            query = ConjunctiveQuery(
+                f"q{'-'.join(projection)}",
+                [Atom("Cust", ["c"]), Atom("Ord", ["o", "c"]), Atom("Item", ["o", "d"])],
+                projection=projection,
+            )
+            for plan in ALL_PLANS:
+                row = engine.evaluate(query, plan=plan)
+                batch = engine.evaluate(query, plan=plan, execution="batch")
+                assert_identical_results(row, batch)
+
+
+class TestScanEvaluatorsAgree:
+    """OneScanState (streaming), group_probability (recursive), and the
+    columnar evaluator must agree on the same sorted answer."""
+
+    def _sorted_answer(self, engine, query):
+        signature = engine.signature_for(query)
+        answer, _, _ = engine._answer_relation(query, None)
+        return answer.sorted_by(sort_column_order(answer.schema, signature)), signature
+
+    def _compare_evaluators(self, engine, query):
+        answer, signature = self._sorted_answer(engine, query)
+        columns = ColumnMap(answer.schema)
+        try:
+            recursive = list(scan_confidences(answer.rows, columns, signature))
+        except QueryError:
+            # Signature needs pre-aggregation scans; the columnar evaluator
+            # must reject it the same way.
+            with pytest.raises(QueryError):
+                list(columnar_scan_confidences(ColumnBatch.from_relation(answer), signature))
+            return
+        columnar = list(
+            columnar_scan_confidences(ColumnBatch.from_relation(answer), signature)
+        )
+        assert columnar == recursive  # identical bags, order, and floats
+        if has_one_scan_property(signature):
+            try:
+                streaming = list(streaming_scan_confidences(answer.rows, columns, signature))
+            except QueryError:
+                return  # signature shape unsupported by the streaming evaluator
+            assert [data for data, _ in streaming] == [data for data, _ in recursive]
+            for (_, stream_p), (_, recursive_p) in zip(streaming, recursive):
+                assert stream_p == pytest.approx(recursive_p, abs=1e-12)
+
+    def test_paper_query(self):
+        engine = SproutEngine(build_paper_database())
+        self._compare_evaluators(engine, paper_query())
+
+    @given(three_table_database())
+    @settings(max_examples=20, deadline=None)
+    def test_random_three_table(self, db):
+        engine = SproutEngine(db)
+        for projection in ([], ["d"]):
+            query = ConjunctiveQuery(
+                "scan-cmp",
+                [Atom("Cust", ["c"]), Atom("Ord", ["o", "c"]), Atom("Item", ["o", "d"])],
+                projection=projection,
+            )
+            self._compare_evaluators(engine, query)
+
+    @given(two_table_database())
+    @settings(max_examples=20, deadline=None)
+    def test_random_two_table(self, db):
+        engine = SproutEngine(db)
+        query = ConjunctiveQuery(
+            "scan-cmp2", [Atom("R", ["a"]), Atom("S", ["a", "b"])], projection=["a"]
+        )
+        self._compare_evaluators(engine, query)

@@ -1,0 +1,261 @@
+"""Unit tests of the columnar batch operators against their row twins.
+
+Every batch operator must produce exactly the relation (schema, rows, order)
+its iterator-model counterpart produces — the engine relies on this to make
+``execution="batch"`` bit-identical with ``execution="row"``.
+"""
+
+import pytest
+
+from repro.algebra import (
+    AggregateSpec,
+    AttributeComparison,
+    BatchGroupByOp,
+    BatchHashJoinOp,
+    BatchMaterializedOp,
+    BatchProjectOp,
+    BatchScanOp,
+    BatchSelectOp,
+    BatchSortOp,
+    ColumnBatch,
+    Comparison,
+    Conjunction,
+    Disjunction,
+    GroupByOp,
+    HashJoinOp,
+    MaterializedOp,
+    Negation,
+    ProjectOp,
+    ScanOp,
+    SelectOp,
+    TruePredicate,
+    compile_mask,
+    group_by_columns,
+    sort_batch,
+)
+from repro.errors import SchemaError
+from repro.storage import Relation, Schema
+
+
+@pytest.fixture
+def people():
+    return Relation(
+        "people",
+        Schema.of("pid:int", "name:str", "age:int", "city:str"),
+        [
+            (1, "ann", 34, "oslo"),
+            (2, "bob", 27, "bergen"),
+            (3, "cec", None, "oslo"),
+            (4, "dan", 41, None),
+            (5, "eve", 27, "oslo"),
+        ],
+    )
+
+
+@pytest.fixture
+def visits():
+    return Relation(
+        "visits",
+        Schema.of("pid:int", "place:str"),
+        [
+            (1, "museum"),
+            (1, "park"),
+            (2, "park"),
+            (5, "museum"),
+            (None, "harbor"),
+            (6, "castle"),
+        ],
+    )
+
+
+def assert_same_output(batch_op, row_op, name="out"):
+    got = batch_op.to_relation(name)
+    want = row_op.to_relation(name)
+    assert got.schema == want.schema
+    assert got.rows == want.rows  # identical rows in identical order
+
+
+class TestColumnBatch:
+    def test_roundtrip(self, people):
+        batch = ColumnBatch.from_relation(people)
+        assert len(batch) == len(people)
+        assert list(batch.rows()) == people.rows
+        assert batch.to_relation("copy").rows == people.rows
+
+    def test_column_access(self, people):
+        batch = ColumnBatch.from_relation(people)
+        assert batch.column("name") == ["ann", "bob", "cec", "dan", "eve"]
+
+    def test_take(self, people):
+        batch = ColumnBatch.from_relation(people)
+        taken = batch.take([4, 0])
+        assert list(taken.rows()) == [people.rows[4], people.rows[0]]
+
+    def test_concat(self, people):
+        batch = ColumnBatch.from_relation(people)
+        merged = ColumnBatch.concat(people.schema, [batch, batch])
+        assert len(merged) == 2 * len(people)
+        assert list(merged.rows()) == people.rows + people.rows
+
+    def test_arity_mismatch_raises(self, people):
+        with pytest.raises(SchemaError):
+            ColumnBatch(people.schema, [[1, 2]])
+
+    def test_ragged_columns_raise(self):
+        schema = Schema.of("a:int", "b:int")
+        with pytest.raises(SchemaError):
+            ColumnBatch(schema, [[1, 2], [3]])
+        with pytest.raises(SchemaError):
+            Relation.from_columns("r", schema, [[1, 2], [3]])
+
+    def test_zero_column_batch_keeps_length(self):
+        batch = ColumnBatch(Schema([]), [], length=3)
+        assert len(batch) == 3
+        assert list(batch.rows()) == [(), (), ()]
+
+
+class TestBatchScan:
+    def test_emits_all_rows_in_order(self, people):
+        op = BatchScanOp(people, batch_size=2)
+        batches = list(op.batches())
+        assert [len(b) for b in batches] == [2, 2, 1]
+        assert op.rows_out == 5
+        assert_same_output(BatchScanOp(people, batch_size=2), ScanOp(people))
+
+    def test_materialized_from_batch(self, people):
+        batch = ColumnBatch.from_relation(people)
+        assert BatchMaterializedOp(batch).to_relation().rows == people.rows
+
+
+class TestBatchSelect:
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            TruePredicate(),
+            Comparison("age", ">", 30),
+            Comparison("age", "=", 27),
+            Comparison("city", "=", "oslo"),
+            Comparison("age", "!=", 27),
+            Conjunction([Comparison("age", ">", 20), Comparison("city", "=", "oslo")]),
+            Disjunction([Comparison("age", ">", 40), Comparison("city", "=", "bergen")]),
+            Negation(Comparison("city", "=", "oslo")),
+            AttributeComparison("pid", "<", "age"),
+        ],
+    )
+    def test_matches_row_select(self, people, predicate):
+        assert_same_output(
+            BatchSelectOp(BatchScanOp(people, batch_size=2), predicate),
+            SelectOp(ScanOp(people), predicate),
+        )
+
+    def test_mask_handles_none_like_bind(self, people):
+        # None never satisfies a comparison, matching Predicate.bind.
+        mask = compile_mask(Comparison("age", ">", 0), people.schema)
+        batch = ColumnBatch.from_relation(people)
+        assert mask(batch) == [True, True, False, True, True]
+
+
+class TestBatchProject:
+    def test_matches_row_project(self, people):
+        names = ["city", "pid"]
+        assert_same_output(
+            BatchProjectOp(BatchScanOp(people, batch_size=2), names),
+            ProjectOp(ScanOp(people), names),
+        )
+
+
+class TestBatchHashJoin:
+    def test_matches_row_hash_join(self, people, visits):
+        assert_same_output(
+            BatchHashJoinOp(BatchScanOp(people, batch_size=2), BatchScanOp(visits, batch_size=4)),
+            HashJoinOp(ScanOp(people), ScanOp(visits)),
+        )
+
+    def test_multi_attribute_key(self, people):
+        other = Relation(
+            "other",
+            Schema.of("pid:int", "age:int", "tag:str"),
+            [(1, 34, "x"), (2, 27, "y"), (2, 99, "z"), (None, 27, "n")],
+        )
+        assert_same_output(
+            BatchHashJoinOp(BatchScanOp(people), BatchScanOp(other)),
+            HashJoinOp(ScanOp(people), ScanOp(other)),
+        )
+
+    def test_none_keys_do_not_match(self, people, visits):
+        joined = BatchHashJoinOp(BatchScanOp(people), BatchScanOp(visits)).to_relation()
+        assert all(row[0] is not None for row in joined.rows)
+        assert "harbor" not in {row[-1] for row in joined.rows}
+
+    def test_explicit_on(self, people, visits):
+        assert_same_output(
+            BatchHashJoinOp(BatchScanOp(people), BatchScanOp(visits), on=["pid"]),
+            HashJoinOp(ScanOp(people), ScanOp(visits), on=["pid"]),
+        )
+
+    def test_cross_join_matches_row_join(self, people):
+        # No shared attributes -> empty join key -> full cross product,
+        # exactly like the row HashJoinOp.
+        other = Relation("tags", Schema.of("tag:str"), [("x",), ("y",)])
+        batch = BatchHashJoinOp(BatchScanOp(people, batch_size=2), BatchScanOp(other))
+        row = HashJoinOp(ScanOp(people), ScanOp(other))
+        assert_same_output(batch, row)
+        assert len(batch.to_relation()) == len(people) * len(other)
+
+
+class TestBatchGroupBy:
+    def test_matches_row_group_by(self, people):
+        aggregates = [
+            AggregateSpec("count", "pid", "n"),
+            AggregateSpec("min", "name", "first_name"),
+            AggregateSpec("sum", "pid", "pid_sum"),
+        ]
+        assert_same_output(
+            BatchGroupByOp(BatchScanOp(people, batch_size=2), ["city"], aggregates),
+            GroupByOp(ScanOp(people), ["city"], aggregates),
+        )
+
+    def test_empty_group_by_single_group(self, people):
+        aggregates = [AggregateSpec("count", "pid", "n")]
+        assert_same_output(
+            BatchGroupByOp(BatchScanOp(people), [], aggregates),
+            GroupByOp(ScanOp(people), [], aggregates),
+        )
+
+    def test_group_by_columns_function(self, people):
+        batch = ColumnBatch.from_relation(people)
+        out = group_by_columns(batch, ["age"], [AggregateSpec("count", "pid", "n")])
+        want = GroupByOp(MaterializedOp(people), ["age"], [AggregateSpec("count", "pid", "n")])
+        assert list(out.rows()) == want.to_relation().rows
+
+
+class TestBatchSort:
+    def test_matches_relation_sort(self, people):
+        by = ["city", "age"]
+        got = BatchSortOp(BatchScanOp(people, batch_size=2), by).to_relation()
+        assert got.rows == people.sorted_by(by).rows
+
+    def test_sort_batch_is_stable(self, people):
+        batch = ColumnBatch.from_relation(people)
+        out = sort_batch(batch, ["age"])
+        ages = out.column("age")
+        # None sorts first; ties keep original order (bob before eve).
+        assert ages == [None, 27, 27, 34, 41]
+        assert out.column("name") == ["cec", "bob", "eve", "ann", "dan"]
+
+    def test_sort_empty_keys_returns_input(self, people):
+        batch = ColumnBatch.from_relation(people)
+        assert sort_batch(batch, []) is batch
+
+
+class TestWorkMetric:
+    def test_total_rows_processed_matches_row_plan(self, people, visits):
+        predicate = Comparison("age", ">", 20)
+        row_plan = HashJoinOp(SelectOp(ScanOp(people), predicate), ScanOp(visits))
+        batch_plan = BatchHashJoinOp(
+            BatchSelectOp(BatchScanOp(people, batch_size=2), predicate),
+            BatchScanOp(visits, batch_size=3),
+        )
+        row_plan.to_relation()
+        batch_plan.to_relation()
+        assert batch_plan.total_rows_processed() == row_plan.total_rows_processed()

@@ -8,7 +8,7 @@ from repro.sprout.scans import apply_scan_schedule, schedule_scans
 from repro.sprout.engine import SproutEngine
 from repro.sprout.planner import build_answer_plan, project_answer_columns
 
-from conftest import assert_confidences_close, build_paper_database, paper_query
+from helpers import assert_confidences_close, build_paper_database, paper_query
 
 
 def paper_answer_relation():

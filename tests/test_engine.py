@@ -9,7 +9,7 @@ from repro.prob import confidences_by_enumeration
 from repro.sprout import evaluate_deterministic
 from repro.storage import Relation, Schema
 
-from conftest import assert_confidences_close, build_paper_database, paper_query
+from helpers import assert_confidences_close, build_paper_database, paper_query
 
 
 ALL_PLANS = ("lazy", "eager", "hybrid", "lineage")

@@ -18,7 +18,7 @@ from repro.sprout.planner import (
 )
 from repro.storage.schema import ColumnRole
 
-from conftest import build_paper_database, paper_query
+from helpers import build_paper_database, paper_query
 
 
 @pytest.fixture

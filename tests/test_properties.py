@@ -15,7 +15,7 @@ from repro.prob import confidences_by_enumeration
 from repro.sprout import evaluate_deterministic
 from repro.storage import Relation, Schema
 
-from conftest import assert_confidences_close
+from helpers import assert_confidences_close
 
 
 probabilities = st.floats(min_value=0.05, max_value=0.95)

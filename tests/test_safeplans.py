@@ -8,7 +8,7 @@ from repro.safeplans.safe_plan import build_safe_plan, has_safe_plan, safe_plan_
 from repro.storage import Relation, Schema
 from repro.storage.catalog import FunctionalDependency
 
-from conftest import assert_confidences_close, build_paper_database, paper_query
+from helpers import assert_confidences_close, build_paper_database, paper_query
 
 
 def hard_query():

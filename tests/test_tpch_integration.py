@@ -12,7 +12,11 @@ from repro.safeplans import MystiqEngine
 from repro.sprout import SproutEngine
 from repro.tpch.queries import FIGURE9_KEYS, query_A, query_B, query_C, query_D, tpch_query
 
-from conftest import assert_confidences_close
+from helpers import assert_confidences_close
+
+# Building the TPC-H instance and enumerating lineage ground truth dominates
+# the default suite's runtime; deselect with `-m "not slow"` for quick loops.
+pytestmark = pytest.mark.slow
 
 
 #: Queries covering every structural case: single table, key joins, FD-reducts,
