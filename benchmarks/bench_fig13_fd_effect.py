@@ -27,8 +27,14 @@ from conftest import run_benchmark
 
 PAPER = {
     "2": {"seqscan": 0.02, "sort": 0.03, "no_fds": 0.20, "fds": 0.09, "rows": 642, "distinct": 642},
-    "7": {"seqscan": 0.02, "sort": 0.07, "no_fds": 0.66, "fds": 0.02, "rows": 5924, "distinct": 796},
-    "11": {"seqscan": 0.09, "sort": 0.12, "no_fds": 4.23, "fds": 0.40, "rows": 31680, "distinct": 29818},
+    "7": {
+        "seqscan": 0.02, "sort": 0.07, "no_fds": 0.66, "fds": 0.02,
+        "rows": 5924, "distinct": 796,
+    },
+    "11": {
+        "seqscan": 0.09, "sort": 0.12, "no_fds": 4.23, "fds": 0.40,
+        "rows": 31680, "distinct": 29818,
+    },
     "B3": {"seqscan": 0.01, "sort": 0.03, "no_fds": 0.05, "fds": 0.03, "rows": 4488, "distinct": 1},
 }
 

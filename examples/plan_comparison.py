@@ -49,7 +49,10 @@ def main(scale_factor: float = 0.002) -> None:
             f"{result.distinct_tuples:>16}"
         )
     safe = mystiq.evaluate(query)
-    print(f"{'mystiq':>8} {safe.total_seconds:>9.3f} {safe.rows_processed:>15} {safe.distinct_tuples:>16}")
+    print(
+        f"{'mystiq':>8} {safe.total_seconds:>9.3f} "
+        f"{safe.rows_processed:>15} {safe.distinct_tuples:>16}"
+    )
 
     lazy = engine.evaluate(query, plan="lazy")
     agree = safe.confidences().keys() == lazy.confidences().keys()

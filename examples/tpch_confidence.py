@@ -3,7 +3,9 @@
 Generates a scaled-down tuple-independent TPC-H database, reports the
 Section VI case-study classification, and runs a handful of the paper's
 queries with lazy, eager, and MystiQ-style plans, printing wall-clock times
-and answer sizes (a miniature of Fig. 9).
+and answer sizes (a miniature of Fig. 9).  A final section evaluates an
+*unsafe* (non-hierarchical) query end to end: the engine routes it to the
+anytime d-tree confidence engine, exactly and at several epsilon budgets.
 
 Run with:  python examples/tpch_confidence.py [scale_factor]
 """
@@ -12,9 +14,11 @@ from __future__ import annotations
 
 import sys
 from pathlib import Path
+from time import perf_counter
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro import Atom, ConjunctiveQuery
 from repro.errors import NumericalError, UnsafePlanError
 from repro.safeplans import MystiqEngine
 from repro.sprout import SproutEngine
@@ -49,6 +53,46 @@ def main(scale_factor: float = 0.001) -> None:
         except (UnsafePlanError, NumericalError) as error:
             print(f"{key:>6} {'mystiq':>8} {'—':>9}  ({type(error).__name__})")
         print()
+
+    unsafe_query_demo(engine)
+
+
+def unsafe_query_demo(engine: SproutEngine) -> None:
+    """An unsafe query end to end: q() :- part ⋈ partsupp ⋈ supplier.
+
+    The query is non-hierarchical and its FD-reduct is too (partsupp has a
+    composite key), so exact confidence computation is #P-hard in general and
+    no safe plan exists.  The engine routes it to the d-tree engine: exact
+    compilation when it completes, anytime lower/upper bounds otherwise.
+    """
+    query = ConjunctiveQuery(
+        "unsafe_partsupp",
+        [
+            Atom("part", ["partkey"]),
+            Atom("partsupp", ["partkey", "suppkey"]),
+            Atom("supplier", ["suppkey"]),
+        ],
+        projection=[],
+    )
+    print("unsafe query demo (routed to the d-tree engine):")
+    print(engine.explain(query))
+    print(f"tractable: {engine.is_tractable(query)}")
+
+    for epsilon in (0.05, 0.01, 0.001):
+        started = perf_counter()
+        result = engine.evaluate(query, confidence="approx", epsilon=epsilon)
+        elapsed = perf_counter() - started
+        lower, upper = result.bounds[()]
+        print(
+            f"  approx eps={epsilon:<6} conf={result.boolean_confidence():.6f} "
+            f"bounds=[{lower:.6f}, {upper:.6f}] "
+            f"({result.answer_rows} lineage clauses, {elapsed:.3f}s)"
+        )
+
+    started = perf_counter()
+    exact = engine.evaluate(query, plan="dtree")
+    elapsed = perf_counter() - started
+    print(f"  exact d-tree    conf={exact.boolean_confidence():.6f} ({elapsed:.3f}s)")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ Quickstart
 """
 
 from repro.errors import (
+    ApproximationBudgetError,
     NonHierarchicalQueryError,
     NumericalError,
     PlanningError,
@@ -53,6 +54,7 @@ from repro.storage import Attribute, Catalog, FunctionalDependency, Relation, Sc
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApproximationBudgetError",
     "Atom",
     "Attribute",
     "Catalog",

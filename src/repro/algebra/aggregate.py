@@ -18,12 +18,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import NumericalError, QueryError
 from repro.algebra.operators import Operator, Row
 from repro.storage.external_sort import sort_key_for
-from repro.storage.schema import Attribute, ColumnRole, Schema
+from repro.storage.schema import Attribute, Schema
 
 __all__ = [
     "AggregateSpec",

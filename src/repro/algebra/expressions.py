@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import abc
 import operator
-from typing import Callable, FrozenSet, Iterable, List, Sequence, Tuple
+from typing import Callable, FrozenSet, Iterable, List, Sequence
 
 from repro.errors import QueryError
 from repro.storage.schema import Schema

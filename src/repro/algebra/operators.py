@@ -16,12 +16,12 @@ than a lazy plan, which is exactly the effect Figures 9-12 measure.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import SchemaError
+
 from repro.algebra.expressions import Predicate
 from repro.storage.relation import Relation
-from repro.storage.schema import Attribute, ColumnRole, Schema
+from repro.storage.schema import Schema
 
 __all__ = ["Operator", "ScanOp", "SelectOp", "ProjectOp", "RenameOp", "MaterializedOp"]
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.algebra.operators import Operator
 from repro.storage.relation import Relation

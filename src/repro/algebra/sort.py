@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Sequence
 
 from repro.algebra.operators import Operator, Row
 from repro.storage.external_sort import SortStats, external_sort

@@ -10,7 +10,7 @@ selectivity formulas for equality/range predicates and equi-joins.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.algebra.expressions import (
     AttributeComparison,

@@ -58,3 +58,34 @@ class ProbabilityError(ReproError):
 class NumericalError(ProbabilityError):
     """Raised when a numerically fragile method (e.g. MystiQ's log-sum trick)
     fails at runtime, mirroring the runtime errors reported in Section VII."""
+
+
+class ApproximationBudgetError(ProbabilityError):
+    """Raised when an anytime confidence computation exhausts its step budget
+    before reaching the requested error guarantee.
+
+    Carries the best bracket obtained so far, so callers can still use the
+    partial result (or hand the lineage to the Monte Carlo fallback):
+    ``lower``/``upper`` bound the true probability, ``epsilon``/``relative``
+    echo the requested budget, and ``steps`` counts the d-tree expansions
+    performed.
+    """
+
+    def __init__(
+        self,
+        lower: float,
+        upper: float,
+        epsilon: float,
+        relative: bool = False,
+        steps: int = 0,
+    ):
+        kind = "relative" if relative else "absolute"
+        super().__init__(
+            f"approximation stopped after {steps} step(s) with bounds "
+            f"[{lower:.6g}, {upper:.6g}], short of the {kind} budget {epsilon:.6g}"
+        )
+        self.lower = lower
+        self.upper = upper
+        self.epsilon = epsilon
+        self.relative = relative
+        self.steps = steps

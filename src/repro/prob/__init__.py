@@ -1,5 +1,12 @@
 """Probabilistic data model: variables, formulas, tables, worlds, lineage."""
 
+from repro.prob.dtree import (
+    ApproxResult,
+    DTree,
+    MonteCarloResult,
+    dtree_probability,
+    karp_luby_probability,
+)
 from repro.prob.formulas import (
     DNF,
     And,
@@ -13,6 +20,7 @@ from repro.prob.formulas import (
     is_read_once,
 )
 from repro.prob.lineage import (
+    approximate_confidences_from_lineage,
     confidences_from_lineage,
     lineage_by_tuple,
     probabilities_from_answer,
@@ -20,14 +28,18 @@ from repro.prob.lineage import (
 )
 from repro.prob.pdb import PossibleWorld, ProbabilisticDatabase
 from repro.prob.ptable import ProbabilisticTable, make_tuple_independent
+from repro.prob.synthetic import bipartite_lineage, hub_lineage
 from repro.prob.variables import VariableInfo, VariableRegistry
 from repro.prob.worlds import confidences_by_enumeration
 
 __all__ = [
     "And",
+    "ApproxResult",
     "Bottom",
     "DNF",
+    "DTree",
     "Formula",
+    "MonteCarloResult",
     "Or",
     "PossibleWorld",
     "ProbabilisticDatabase",
@@ -36,11 +48,16 @@ __all__ = [
     "Var",
     "VariableInfo",
     "VariableRegistry",
+    "approximate_confidences_from_lineage",
+    "bipartite_lineage",
     "confidences_by_enumeration",
     "confidences_from_lineage",
     "dnf_probability",
     "dnf_probability_enumeration",
+    "dtree_probability",
+    "hub_lineage",
     "is_read_once",
+    "karp_luby_probability",
     "lineage_by_tuple",
     "make_tuple_independent",
     "probabilities_from_answer",

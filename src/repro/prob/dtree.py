@@ -1,0 +1,570 @@
+"""Decomposition trees: anytime confidence computation for arbitrary DNF lineage.
+
+Exact confidence computation is #P-hard for non-hierarchical (unsafe) queries,
+so SPROUT's follow-on line of work compiles the lineage of each answer tuple
+into a *decomposition tree* (d-tree) whose node types all admit trivial
+probability computation:
+
+* **independent-and** (⊗) — the children use disjoint variable sets and are
+  conjoined: ``P = prod P_i`` (created when every clause shares a common
+  variable prefix that can be factored out);
+* **independent-or** (⊕) — the children use disjoint variable sets and are
+  disjoined: ``P = 1 - prod (1 - P_i)`` (created by splitting a DNF into its
+  connected components);
+* **deterministic-or** (⊙) — the children are mutually exclusive, so
+  ``P = sum w_i * P_i``; created by *Shannon variable cobranching*: picking a
+  variable ``x`` and rewriting ``F`` as the exclusive disjunction of
+  ``x ∧ F|x=1`` and ``¬x ∧ F|x=0`` with weights ``p(x)`` and ``1 - p(x)``.
+
+Compilation interleaves the cheap decomposition steps (factoring, component
+splitting) with Shannon cobranching until every leaf is a literal or constant,
+at which point the evaluation is **exact**.  Because full compilation is
+worst-case exponential, the engine also runs in an **anytime** mode: every
+open (not yet compiled) leaf carries cheap lower/upper bounds on its
+probability, the bounds propagate through the d-tree node types to bracket the
+root probability, and compilation repeatedly expands the open leaf with the
+largest influence on the root gap until the caller's absolute or relative
+error budget ``epsilon`` is met.  The bounds are monotone: every expansion
+step tightens (never widens) the root interval, so stopping early always
+yields a sound bracket.
+
+Open-leaf bounds for a positive DNF with clause probabilities ``c_i``:
+
+* lower — greedily pick a subset of pairwise variable-disjoint clauses and
+  combine them as independent events (``1 - prod (1 - c_i)`` over the subset);
+  the sub-DNF implies the full DNF, so this is a valid lower bound that is at
+  least ``max c_i``;
+* upper — ``1 - prod (1 - c_i)`` over *all* clauses: positive clauses are
+  positively correlated (FKG), so treating them as independent overestimates
+  the probability of the disjunction.
+
+A Karp–Luby-style Monte Carlo estimator (:func:`karp_luby_probability`) is
+provided as a cross-check and as a last-resort fallback for adversarial
+lineage on which the d-tree frontier converges too slowly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ApproximationBudgetError, ProbabilityError
+from repro.prob.formulas import DNF, _connected_components
+
+__all__ = [
+    "ApproxResult",
+    "MonteCarloResult",
+    "DTree",
+    "dtree_probability",
+    "karp_luby_probability",
+]
+
+Clause = FrozenSet[int]
+
+#: Default cap on the number of leaf expansions before an anytime run gives up
+#: (raising :class:`ApproximationBudgetError`).  ``None`` disables the cap.
+DEFAULT_MAX_STEPS: Optional[int] = 200_000
+
+#: The frontier's influence weights are recomputed from scratch on a geometric
+#: schedule (next rebuild at ``steps * _REFRESH_FACTOR + _REFRESH_BASE``) so
+#: heap staleness stays bounded while total rebuild cost stays near-linear.
+_REFRESH_BASE = 128
+_REFRESH_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class ApproxResult:
+    """Outcome of a d-tree confidence computation.
+
+    ``probability`` is the interval midpoint; when ``exact`` is true the
+    interval is degenerate (``lower == upper``) and the value is the exact
+    probability of the lineage.
+    """
+
+    probability: float
+    lower: float
+    upper: float
+    steps: int
+    exact: bool
+
+    @property
+    def gap(self) -> float:
+        return self.upper - self.lower
+
+    def __str__(self) -> str:
+        kind = "exact" if self.exact else "approx"
+        return (
+            f"{kind} p={self.probability:.6f} in [{self.lower:.6f}, {self.upper:.6f}] "
+            f"after {self.steps} step(s)"
+        )
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """A Karp–Luby estimate with a 95% normal-approximation confidence interval."""
+
+    estimate: float
+    half_width: float
+    samples: int
+
+    @property
+    def lower(self) -> float:
+        return max(0.0, self.estimate - self.half_width)
+
+    @property
+    def upper(self) -> float:
+        return min(1.0, self.estimate + self.half_width)
+
+
+# ---------------------------------------------------------------------------
+# d-tree nodes
+# ---------------------------------------------------------------------------
+
+_IND_AND = "ind_and"
+_IND_OR = "ind_or"
+_DET_OR = "det_or"
+
+
+class _Node:
+    """Shared fields: bounds plus the link to the parent slot holding us."""
+
+    __slots__ = ("lower", "upper", "parent", "slot")
+
+    def __init__(self) -> None:
+        self.lower = 0.0
+        self.upper = 1.0
+        self.parent: Optional["_Inner"] = None
+        self.slot = 0
+
+
+class _Closed(_Node):
+    """A fully compiled subtree, reduced to its exact probability."""
+
+    __slots__ = ()
+
+    def __init__(self, value: float):
+        super().__init__()
+        self.lower = self.upper = value
+
+
+class _Leaf(_Node):
+    """An open leaf: a DNF not yet decomposed, with cheap probability bounds."""
+
+    __slots__ = ("dnf", "expanded", "heap_gen")
+
+    def __init__(self, dnf: DNF, probabilities: Mapping[int, float]):
+        super().__init__()
+        self.dnf = dnf
+        self.expanded = False
+        self.heap_gen = -1
+        ordered = []
+        for clause in dnf.clauses:
+            weight = 1.0
+            for variable in clause:
+                weight *= probabilities[variable]
+            ordered.append((weight, sorted(clause), clause))
+        ordered.sort(key=lambda item: (-item[0], item[1]))
+        # Upper: independent-or over all clauses (FKG upper bound).
+        none_true = 1.0
+        for weight, _, _ in ordered:
+            none_true *= 1.0 - weight
+        self.upper = 1.0 - none_true
+        # Lower: independent-or over a greedy variable-disjoint clause subset
+        # (the sub-DNF implies the full DNF and its clauses are independent).
+        used: set = set()
+        none_picked = 1.0
+        for weight, _, clause in ordered:
+            if used.isdisjoint(clause):
+                used.update(clause)
+                none_picked *= 1.0 - weight
+        self.lower = 1.0 - none_picked
+
+
+class _Inner(_Node):
+    """An ⊗ / ⊕ / ⊙ node over already constructed children."""
+
+    __slots__ = ("kind", "children", "weights", "origin")
+
+    def __init__(
+        self,
+        kind: str,
+        children: List[_Node],
+        weights: Optional[Sequence[float]] = None,
+        origin: Optional[FrozenSet[Clause]] = None,
+    ):
+        super().__init__()
+        self.kind = kind
+        self.children = children
+        self.weights = list(weights) if weights is not None else None
+        self.origin = origin  # clause set this subtree computes, for memoisation
+        for slot, child in enumerate(children):
+            child.parent = self
+            child.slot = slot
+        self.refresh_bounds()
+
+    def refresh_bounds(self) -> None:
+        if self.kind == _IND_AND:
+            lower = upper = 1.0
+            for child in self.children:
+                lower *= child.lower
+                upper *= child.upper
+        elif self.kind == _IND_OR:
+            lower = upper = 1.0
+            for child in self.children:
+                lower *= 1.0 - child.lower
+                upper *= 1.0 - child.upper
+            lower, upper = 1.0 - lower, 1.0 - upper
+        else:  # deterministic-or
+            lower = upper = 0.0
+            for weight, child in zip(self.weights, self.children):
+                lower += weight * child.lower
+                upper += weight * child.upper
+        self.lower = lower
+        self.upper = min(1.0, upper)
+
+    def child_weight(self, slot: int) -> float:
+        """Midpoint-linearised derivative of this node w.r.t. child ``slot``."""
+        if self.kind == _DET_OR:
+            return self.weights[slot]
+        factor = 1.0
+        for index, child in enumerate(self.children):
+            if index == slot:
+                continue
+            mid = 0.5 * (child.lower + child.upper)
+            factor *= mid if self.kind == _IND_AND else 1.0 - mid
+        return factor
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+
+def _cofactor_true(dnf: DNF, variable: int) -> DNF:
+    """Shannon cofactor ``dnf | variable=true``, minimised incrementally.
+
+    Assumes ``dnf`` is already subsumption-free.  Then only the clauses that
+    lose ``variable`` can newly subsume others, and only the untouched clauses
+    can be subsumed — so one shrunk-vs-untouched sweep suffices instead of the
+    full quadratic :meth:`DNF.minimised`.
+    """
+    shrunk: List[Clause] = []
+    untouched: List[Clause] = []
+    for clause in dnf.clauses:
+        if variable in clause:
+            shrunk.append(clause - {variable})
+        else:
+            untouched.append(clause)
+    kept = [u for u in untouched if not any(s <= u for s in shrunk)]
+    return DNF(shrunk + kept)
+
+
+class DTree:
+    """An incrementally compiled decomposition tree for one DNF.
+
+    Construction applies the cheap decomposition steps eagerly;
+    :meth:`expand_once` performs one Shannon cobranching step on the open leaf
+    with the largest estimated influence on the root bounds; :meth:`bounds`
+    returns the current root interval.  :func:`dtree_probability` drives the
+    loop — use it unless you need step-by-step control.
+
+    Bounds are maintained incrementally: an expansion splices the replacement
+    subtree into the leaf's parent slot and recomputes bounds along the path
+    to the root only (stopping early when nothing changes).  The frontier is a
+    lazy max-heap of (influence, leaf) entries whose influence weights are
+    recomputed globally every :data:`_REFRESH_EVERY` expansions, so a single
+    step costs O(path length) rather than O(tree size).
+    """
+
+    def __init__(self, dnf: DNF, probabilities: Mapping[int, float]):
+        self.probabilities = probabilities
+        self.memo: Dict[FrozenSet[Clause], float] = {}
+        for variable in dnf.variables():
+            if variable not in probabilities:
+                raise ProbabilityError(f"no probability for variable {variable}")
+        self.steps = 0
+        self._heap: List[Tuple[float, int, _Leaf]] = []
+        self._heap_gen = 0
+        self._counter = 0
+        self._next_rebuild = _REFRESH_BASE
+        self.root = self._build(dnf.minimised())
+        self._rebuild_frontier()
+
+    # -- structural decomposition (independent partition steps) ---------------
+
+    def _build(self, dnf: DNF) -> object:
+        if dnf.is_true():
+            return _Closed(1.0)
+        if dnf.is_false():
+            return _Closed(0.0)
+        cached = self.memo.get(dnf.clauses)
+        if cached is not None:
+            return _Closed(cached)
+        clauses = list(dnf.clauses)
+        if len(clauses) == 1:
+            weight = 1.0
+            for variable in clauses[0]:
+                weight *= self.probabilities[variable]
+            return _Closed(weight)
+        # Independent-and: factor out variables common to every clause.
+        common = frozenset.intersection(*clauses)
+        if common:
+            weight = 1.0
+            for variable in common:
+                weight *= self.probabilities[variable]
+            rest = DNF(clause - common for clause in clauses)
+            return _Inner(
+                _IND_AND, [_Closed(weight), self._build(rest)], origin=dnf.clauses
+            )
+        # Independent-or: split into connected components.
+        components = _connected_components(dnf)
+        if len(components) > 1:
+            children = [self._build(component) for component in components]
+            return _Inner(_IND_OR, children, origin=dnf.clauses)
+        return _Leaf(dnf, self.probabilities)
+
+    # -- Shannon variable cobranching -----------------------------------------
+
+    def _expand_leaf(self, leaf: _Leaf) -> None:
+        counts: Dict[int, int] = {}
+        for clause in leaf.dnf.clauses:
+            for variable in clause:
+                counts[variable] = counts.get(variable, 0) + 1
+        # Most frequent variable, smallest id on ties: deterministic and aims
+        # at maximal simplification of both cofactors.
+        branch = min(counts, key=lambda v: (-counts[v], v))
+        p = self.probabilities[branch]
+        positive = _cofactor_true(leaf.dnf, branch)
+        negative = leaf.dnf.condition(branch, False)
+        replacement = _Inner(
+            _DET_OR,
+            [self._build(positive), self._build(negative)],
+            weights=[p, 1.0 - p],
+            origin=leaf.dnf.clauses,
+        )
+        leaf.expanded = True
+        self.steps += 1
+        self._splice(leaf, replacement)
+        self._enqueue_subtree(replacement, self._path_weight(replacement))
+
+    # -- bound propagation and frontier management ----------------------------
+
+    def _splice(self, old: _Node, new: _Node) -> None:
+        """Replace ``old`` with ``new`` and propagate bounds up to the root."""
+        parent = old.parent
+        if parent is None:
+            self.root = new
+            new.parent = None
+            return
+        new.parent = parent
+        new.slot = old.slot
+        parent.children[old.slot] = new
+        node: Optional[_Inner] = parent
+        while node is not None:
+            before = (node.lower, node.upper)
+            node.refresh_bounds()
+            if all(isinstance(child, _Closed) for child in node.children):
+                if node.origin is not None:
+                    self.memo[node.origin] = node.lower
+                closed = _Closed(node.lower)
+                grand = node.parent
+                if grand is None:
+                    self.root = closed
+                    return
+                closed.parent = grand
+                closed.slot = node.slot
+                grand.children[node.slot] = closed
+                node = grand
+                continue
+            if (node.lower, node.upper) == before:
+                return
+            node = node.parent
+
+    def _path_weight(self, node: _Node) -> float:
+        weight = 1.0
+        while node.parent is not None:
+            weight *= node.parent.child_weight(node.slot)
+            node = node.parent
+        return weight
+
+    def _enqueue_subtree(self, node: _Node, weight: float) -> None:
+        """Push every open leaf under ``node`` with its influence estimate."""
+        if isinstance(node, _Closed):
+            return
+        if isinstance(node, _Leaf):
+            if not node.expanded:
+                node.heap_gen = self._heap_gen
+                self._counter += 1
+                heappush(
+                    self._heap,
+                    (-(weight * (node.upper - node.lower)), self._counter, node),
+                )
+            return
+        assert isinstance(node, _Inner)
+        for slot, child in enumerate(node.children):
+            self._enqueue_subtree(child, weight * node.child_weight(slot))
+
+    def _rebuild_frontier(self) -> None:
+        """Recompute all influence weights from scratch (heals heap staleness)."""
+        self._heap = []
+        self._heap_gen += 1
+        self._counter = 0
+        self._enqueue_subtree(self.root, 1.0)
+
+    def bounds(self) -> Tuple[float, float]:
+        return self.root.lower, self.root.upper
+
+    @property
+    def is_exact(self) -> bool:
+        return isinstance(self.root, _Closed)
+
+    def expand_once(self) -> bool:
+        """Expand the most influential open leaf; False if the tree is closed."""
+        if self.steps >= self._next_rebuild:
+            self._rebuild_frontier()
+            self._next_rebuild = int(self.steps * _REFRESH_FACTOR) + _REFRESH_BASE
+        while self._heap:
+            _, _, leaf = heappop(self._heap)
+            if leaf.expanded or leaf.heap_gen != self._heap_gen:
+                continue
+            cached = self.memo.get(leaf.dnf.clauses)
+            if cached is not None:
+                leaf.expanded = True
+                self._splice(leaf, _Closed(cached))
+                continue
+            self._expand_leaf(leaf)
+            return True
+        return False
+
+
+def _budget_met(
+    lower: float, upper: float, epsilon: float, relative: bool
+) -> bool:
+    gap = upper - lower
+    if gap <= 0.0:
+        return True
+    if relative:
+        return gap <= 2.0 * epsilon * lower
+    return gap <= 2.0 * epsilon
+
+
+def dtree_probability(
+    dnf: DNF,
+    probabilities: Mapping[int, float],
+    *,
+    epsilon: float = 0.0,
+    relative: bool = False,
+    max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+) -> ApproxResult:
+    """Probability of a positive DNF via anytime d-tree compilation.
+
+    With ``epsilon == 0`` the compilation runs to completion and the result is
+    exact.  With ``epsilon > 0`` the loop stops as soon as the midpoint of the
+    root interval is guaranteed within ``epsilon`` of the true probability
+    (absolutely, or relatively to it when ``relative`` is true).  If
+    ``max_steps`` leaf expansions do not reach the budget, a structured
+    :class:`repro.errors.ApproximationBudgetError` carrying the best bounds so
+    far is raised; pass ``max_steps=None`` to disable the cap.
+    """
+    if epsilon < 0.0:
+        raise ProbabilityError(f"epsilon must be non-negative, got {epsilon}")
+    tree = DTree(dnf, probabilities)
+    while True:
+        lower, upper = tree.bounds()
+        if tree.is_exact or _budget_met(lower, upper, epsilon, relative):
+            break
+        if max_steps is not None and tree.steps >= max_steps:
+            raise ApproximationBudgetError(
+                lower=lower,
+                upper=upper,
+                epsilon=epsilon,
+                relative=relative,
+                steps=tree.steps,
+            )
+        if not tree.expand_once():
+            break
+    lower, upper = tree.bounds()
+    return ApproxResult(
+        probability=0.5 * (lower + upper),
+        lower=lower,
+        upper=upper,
+        steps=tree.steps,
+        exact=tree.is_exact or upper == lower,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Karp–Luby Monte Carlo estimation
+# ---------------------------------------------------------------------------
+
+
+def karp_luby_probability(
+    dnf: DNF,
+    probabilities: Mapping[int, float],
+    *,
+    samples: int = 10_000,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> MonteCarloResult:
+    """Karp–Luby importance-sampling estimate of a positive DNF's probability.
+
+    Draws a clause ``C_i`` with probability proportional to ``P(C_i)``, then a
+    possible world conditioned on ``C_i`` being true, and counts the draw when
+    ``C_i`` is the *first* (in a fixed clause order) satisfied clause of that
+    world.  The hit frequency times ``sum_i P(C_i)`` is an unbiased estimator
+    of ``P(DNF)`` whose relative variance is bounded by the number of clauses
+    — unlike naive possible-world sampling, which fails for small
+    probabilities.  Used as a cross-check of the d-tree bounds and as the
+    last-resort fallback for lineage on which compilation exhausts its budget.
+    """
+    if samples < 1:
+        raise ProbabilityError(f"samples must be positive, got {samples}")
+    if dnf.is_true():
+        return MonteCarloResult(1.0, 0.0, samples)
+    if dnf.is_false():
+        return MonteCarloResult(0.0, 0.0, samples)
+    generator = rng if rng is not None else random.Random(seed)
+    clauses = sorted(dnf.clauses, key=lambda clause: sorted(clause))
+    clause_probs: List[float] = []
+    for clause in clauses:
+        weight = 1.0
+        for variable in clause:
+            weight *= probabilities[variable]
+        clause_probs.append(weight)
+    total = sum(clause_probs)
+    if total <= 0.0:
+        return MonteCarloResult(0.0, 0.0, samples)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in clause_probs:
+        running += weight
+        cumulative.append(running)
+    variables = sorted(dnf.variables())
+    hits = 0
+    for _ in range(samples):
+        pick = generator.random() * total
+        index = min(bisect_left(cumulative, pick), len(cumulative) - 1)
+        forced = clauses[index]
+        world = {
+            variable: True
+            if variable in forced
+            else generator.random() < probabilities[variable]
+            for variable in variables
+        }
+        first_satisfied = -1
+        for j, clause in enumerate(clauses):
+            if j > index:
+                break
+            if all(world[variable] for variable in clause):
+                first_satisfied = j
+                break
+        if first_satisfied == index:
+            hits += 1
+    fraction = hits / samples
+    estimate = min(1.0, total * fraction)
+    spread = total * math.sqrt(max(fraction * (1.0 - fraction), 1.0 / samples) / samples)
+    return MonteCarloResult(estimate, 1.96 * spread, samples)

@@ -19,9 +19,9 @@ provides:
 from __future__ import annotations
 
 import abc
-from functools import lru_cache
+
 from itertools import product as cartesian_product
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
 
 from repro.errors import ProbabilityError
 

@@ -11,9 +11,15 @@ is checked against.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import ProbabilityError
+from repro.errors import ApproximationBudgetError, ProbabilityError
+from repro.prob.dtree import (
+    DEFAULT_MAX_STEPS,
+    ApproxResult,
+    dtree_probability,
+    karp_luby_probability,
+)
 from repro.prob.formulas import DNF, dnf_probability
 from repro.storage.relation import Relation
 from repro.storage.schema import ColumnRole, Schema
@@ -23,6 +29,7 @@ __all__ = [
     "lineage_by_tuple",
     "probabilities_from_answer",
     "confidences_from_lineage",
+    "approximate_confidences_from_lineage",
 ]
 
 DataTuple = Tuple[object, ...]
@@ -104,3 +111,50 @@ def confidences_from_lineage(
         data: dnf_probability(dnf, probabilities)
         for data, dnf in lineage_by_tuple(answer).items()
     }
+
+
+def approximate_confidences_from_lineage(
+    answer: Relation,
+    probabilities: Optional[Mapping[int, float]] = None,
+    *,
+    epsilon: float = 0.0,
+    relative: bool = False,
+    max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+    monte_carlo_samples: Optional[int] = 10_000,
+) -> Dict[DataTuple, ApproxResult]:
+    """Anytime d-tree confidence of every distinct data tuple in ``answer``.
+
+    Each tuple's DNF lineage is compiled into a decomposition tree until the
+    ``epsilon`` budget is met (``epsilon == 0`` compiles to exactness); the
+    result maps each tuple to an :class:`repro.prob.dtree.ApproxResult` with
+    guaranteed lower/upper bounds.  When compilation exhausts ``max_steps``
+    and ``monte_carlo_samples`` is set, the Karp–Luby estimator supplies the
+    point estimate (clamped into the d-tree's sound bracket) instead of
+    propagating :class:`repro.errors.ApproximationBudgetError`.
+    """
+    if probabilities is None:
+        probabilities = probabilities_from_answer(answer)
+    results: Dict[DataTuple, ApproxResult] = {}
+    for data, dnf in lineage_by_tuple(answer).items():
+        try:
+            results[data] = dtree_probability(
+                dnf,
+                probabilities,
+                epsilon=epsilon,
+                relative=relative,
+                max_steps=max_steps,
+            )
+        except ApproximationBudgetError as error:
+            if monte_carlo_samples is None:
+                raise
+            estimate = karp_luby_probability(
+                dnf, probabilities, samples=monte_carlo_samples
+            ).estimate
+            results[data] = ApproxResult(
+                probability=min(max(estimate, error.lower), error.upper),
+                lower=error.lower,
+                upper=error.upper,
+                steps=error.steps,
+                exact=False,
+            )
+    return results

@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import random
 from itertools import product as cartesian_product
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from repro.errors import CatalogError, ProbabilityError
 from repro.prob.ptable import ProbabilisticTable, ProbabilitySpec, make_tuple_independent
 from repro.prob.variables import VariableRegistry
 from repro.storage.catalog import Catalog, FunctionalDependency
 from repro.storage.relation import Relation
-from repro.storage.schema import ColumnRole, Schema
+from repro.storage.schema import Schema
 
 __all__ = ["ProbabilisticDatabase", "PossibleWorld"]
 

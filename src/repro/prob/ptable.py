@@ -10,7 +10,7 @@ representation, allocating fresh variables from a :class:`VariableRegistry`.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.errors import ProbabilityError, SchemaError
 from repro.prob.variables import VariableRegistry, validate_probability

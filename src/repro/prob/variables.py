@@ -16,7 +16,7 @@ enumeration, Shannon expansion); the query engine itself only ever touches the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ProbabilityError
 

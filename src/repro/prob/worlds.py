@@ -8,7 +8,7 @@ confidence computation path in the repository is validated against this.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.prob.pdb import ProbabilisticDatabase
 from repro.storage.relation import Relation

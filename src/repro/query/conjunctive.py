@@ -14,11 +14,11 @@ the planners all consume this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import QueryError, UnsupportedQueryError
-from repro.algebra.expressions import Comparison, Conjunction, Predicate, TruePredicate, conjunction_of
+from repro.algebra.expressions import Conjunction, Predicate, TruePredicate, conjunction_of
 
 __all__ = ["Atom", "ConjunctiveQuery"]
 
@@ -189,7 +189,9 @@ class ConjunctiveQuery:
             selections=self.selections,
         )
 
-    def with_projection(self, projection: Iterable[str], name: Optional[str] = None) -> "ConjunctiveQuery":
+    def with_projection(
+        self, projection: Iterable[str], name: Optional[str] = None
+    ) -> "ConjunctiveQuery":
         return ConjunctiveQuery(
             name or self.name, self.atoms, projection=projection, selections=self.selections
         )
@@ -199,7 +201,9 @@ class ConjunctiveQuery:
             name or self.name, atoms, projection=self.projection, selections=self.selections
         )
 
-    def restricted_to(self, tables: Iterable[str], name: Optional[str] = None) -> "ConjunctiveQuery":
+    def restricted_to(
+        self, tables: Iterable[str], name: Optional[str] = None
+    ) -> "ConjunctiveQuery":
         """Subquery over a subset of the tables (Proposition V.5: still hierarchical)."""
         wanted = set(tables)
         atoms = [atom for atom in self.atoms if atom.table in wanted]

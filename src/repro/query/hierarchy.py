@@ -14,8 +14,8 @@ of duplicate answer tuples).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import NonHierarchicalQueryError
 from repro.query.conjunctive import Atom, ConjunctiveQuery

@@ -12,12 +12,12 @@ disjuncts).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import NonHierarchicalQueryError, UnsupportedQueryError
 from repro.algebra.expressions import Predicate
 from repro.query.conjunctive import Atom, ConjunctiveQuery
-from repro.query.fd import closure, fd_reduct
+from repro.query.fd import fd_reduct
 from repro.query.hierarchy import build_hierarchy, is_hierarchical
 from repro.query.signature import Signature, signature_from_tree, signature_of_query
 from repro.storage.catalog import Catalog, FunctionalDependency

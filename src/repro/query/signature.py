@@ -21,9 +21,9 @@ within a bag of duplicates) functionally determine it.
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
 
-from repro.errors import NonHierarchicalQueryError, QueryError
+from repro.errors import QueryError
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.fd import closure
 from repro.query.hierarchy import HierarchyNode, build_hierarchy

@@ -21,7 +21,7 @@ the comparison in Section VII and are reproduced here:
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import NumericalError, UnsafePlanError
 from repro.algebra.aggregate import mystiq_log_prob_or, prob_or
@@ -30,7 +30,7 @@ from repro.algebra.joins import HashJoinOp
 from repro.algebra.operators import MaterializedOp, Operator, ProjectOp, ScanOp, SelectOp
 from repro.prob.pdb import ProbabilisticDatabase
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.query.fd import chased_query, closure, fd_reduct
+from repro.query.fd import chased_query, closure
 from repro.query.hierarchy import HierarchyNode, build_hierarchy, is_hierarchical
 from repro.sprout.engine import EvaluationResult
 from repro.sprout.planner import needed_data_attributes

@@ -19,11 +19,11 @@ tested against and as the slow side of the ablation benchmark
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.algebra.aggregate import AggregateSpec, GroupByOp
-from repro.algebra.operators import MaterializedOp, ProjectOp
+from repro.algebra.operators import MaterializedOp
 from repro.query.signature import ConcatSig, Signature, StarSig, TableSig
 from repro.storage.relation import Relation
 from repro.storage.schema import Attribute, ColumnRole, Schema
@@ -205,7 +205,9 @@ def reduce_relation(
         recorded.append(
             ConfStep(
                 kind="propagate",
-                description=f"{keep_prob} := {keep_prob} * {drop_prob}; drop {drop_var}, {drop_prob}",
+                description=(
+                    f"{keep_prob} := {keep_prob} * {drop_prob}; drop {drop_var}, {drop_prob}"
+                ),
                 signature=f"{keep_table} {drop_table}",
                 rows_in=len(relation),
                 rows_out=len(result),

@@ -15,9 +15,20 @@ tuples with their exact confidences.  The caller chooses the *plan style*:
     Hierarchy-imposed join order with aggregation only after joins (the
     operators on top of the input tables are dropped), Fig. 7(b).
 ``lineage``
-    Fallback for queries that are not tractable even with FDs: evaluate the
-    answer lazily and compute each distinct tuple's confidence by exact
-    weighted model counting on its DNF lineage (worst-case exponential).
+    Reference fallback: evaluate the answer lazily and compute each distinct
+    tuple's confidence by exact weighted model counting on its DNF lineage
+    via memoised Shannon expansion (worst-case exponential).
+``dtree``
+    The decomposition-tree engine (:mod:`repro.prob.dtree`): compile each
+    tuple's lineage with independent-partition, deterministic-or, and Shannon
+    cobranching steps.  Exact when compilation completes; with
+    ``confidence="approx"`` it runs anytime, maintaining guaranteed
+    lower/upper bounds and stopping at the requested ``epsilon``.
+
+Queries that are not tractable even with FDs (non-hierarchical, *unsafe*
+queries) are routed to the d-tree engine automatically instead of raising —
+``confidence="exact"`` compiles to exactness, ``confidence="approx"``
+stops at the engine's ``epsilon`` error budget.
 
 Independently of the plan style, the confidence computation method can be the
 scan-based operator (``scans``, Section V.C) or the literal GRP-sequence
@@ -43,15 +54,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NonHierarchicalQueryError, PlanningError, UnsupportedQueryError
 from repro.algebra.columnar import DEFAULT_BATCH_ROWS, sort_batch
-from repro.algebra.operators import Operator
-from repro.prob.lineage import confidences_from_lineage
+from repro.prob.dtree import DEFAULT_MAX_STEPS
+from repro.prob.lineage import (
+    approximate_confidences_from_lineage,
+    confidences_from_lineage,
+)
 from repro.prob.pdb import ProbabilisticDatabase
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.fd import chased_query, closure
 from repro.query.hierarchy import HierarchyNode, build_hierarchy, is_hierarchical
 from repro.query.rewrite import (
     catalog_table_attributes,
-    effective_boolean_query,
     effective_signature,
     is_tractable,
 )
@@ -77,11 +90,13 @@ __all__ = [
     "PLAN_STYLES",
     "CONF_METHODS",
     "EXECUTION_MODES",
+    "CONFIDENCE_MODES",
 ]
 
-PLAN_STYLES = ("lazy", "eager", "hybrid", "lineage")
+PLAN_STYLES = ("lazy", "eager", "hybrid", "lineage", "dtree")
 CONF_METHODS = ("scans", "semantics")
 EXECUTION_MODES = ("row", "batch")
+CONFIDENCE_MODES = ("exact", "approx")
 
 
 @dataclass
@@ -100,6 +115,9 @@ class EvaluationResult:
     rows_processed: int = 0
     scans_used: int = 1
     scan_schedule: Optional[ScanSchedule] = None
+    confidence: str = "exact"
+    epsilon: Optional[float] = None
+    bounds: Dict[Tuple[object, ...], Tuple[float, float]] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -143,8 +161,16 @@ class SproutEngine:
 
     ``execution`` selects the default physical backend for every evaluation:
     ``"row"`` (the iterator-model operators) or ``"batch"`` (the columnar
-    backend processing ~``batch_size``-row column chunks).  Each
-    :meth:`evaluate` call may override it.
+    backend processing ~``batch_size``-row column chunks).
+
+    ``confidence`` selects the default confidence mode: ``"exact"`` (operator
+    paths for tractable queries, fully compiled d-trees for unsafe ones) or
+    ``"approx"`` (anytime d-tree bounds with absolute error budget
+    ``epsilon``).  ``dtree_max_steps`` caps d-tree compilation; when the cap
+    is hit in approx mode the Karp–Luby estimator (``monte_carlo_samples``
+    draws) supplies the point estimate within the sound d-tree bracket.  Each
+    :meth:`evaluate` call may override ``execution``, ``confidence``, and
+    ``epsilon``.
     """
 
     def __init__(
@@ -152,6 +178,10 @@ class SproutEngine:
         database: ProbabilisticDatabase,
         execution: str = "row",
         batch_size: int = DEFAULT_BATCH_ROWS,
+        confidence: str = "exact",
+        epsilon: float = 0.01,
+        dtree_max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+        monte_carlo_samples: Optional[int] = 10_000,
     ):
         if execution not in EXECUTION_MODES:
             raise PlanningError(
@@ -159,9 +189,19 @@ class SproutEngine:
             )
         if batch_size < 1:
             raise PlanningError(f"batch_size must be positive, got {batch_size}")
+        if confidence not in CONFIDENCE_MODES:
+            raise PlanningError(
+                f"unknown confidence mode {confidence!r}; choose from {CONFIDENCE_MODES}"
+            )
+        if epsilon < 0.0:
+            raise PlanningError(f"epsilon must be non-negative, got {epsilon}")
         self.database = database
         self.execution = execution
         self.batch_size = batch_size
+        self.confidence = confidence
+        self.epsilon = epsilon
+        self.dtree_max_steps = dtree_max_steps
+        self.monte_carlo_samples = monte_carlo_samples
         self.planner = JoinOrderPlanner(database)
 
     # -- static analysis --------------------------------------------------------
@@ -222,6 +262,18 @@ class SproutEngine:
         if plan == "lineage":
             lines.append("plan: lazy answer computation + exact lineage model counting")
             return "\n".join(lines)
+        if plan == "dtree":
+            lines.append(
+                "plan: lazy answer computation + d-tree confidence "
+                "(anytime lower/upper bounds)"
+            )
+            return "\n".join(lines)
+        if not self.is_tractable(query, use_fds):
+            lines.append(
+                "plan: unsafe query (no hierarchical FD-reduct); routed to the "
+                "d-tree engine for exact-or-approximate confidence computation"
+            )
+            return "\n".join(lines)
         signature = self.signature_for(query, use_fds)
         lines.append(f"signature: {signature}  (#scans = {num_scans(signature)})")
         if plan == "lazy":
@@ -231,8 +283,8 @@ class SproutEngine:
             tree = self.hierarchy_for(query, use_fds)
             order = self.planner.hierarchical_join_order(query, tree)
             lines.append(
-                f"plan: {plan}, hierarchy join order {order}, "
-                f"aggregation {'after every table and join' if plan == 'eager' else 'after joins only'}"
+                f"plan: {plan}, hierarchy join order {order}, aggregation "
+                f"{'after every table and join' if plan == 'eager' else 'after joins only'}"
             )
         return "\n".join(lines)
 
@@ -247,11 +299,16 @@ class SproutEngine:
         join_order: Optional[Sequence[str]] = None,
         materialize_to_disk: bool = False,
         execution: Optional[str] = None,
+        confidence: Optional[str] = None,
+        epsilon: Optional[float] = None,
     ) -> EvaluationResult:
         """Compute the distinct answer tuples of ``query`` and their confidences.
 
         ``execution`` overrides the engine's default backend for this call
-        (``"row"`` or ``"batch"``).
+        (``"row"`` or ``"batch"``); ``confidence`` and ``epsilon`` override
+        the engine's confidence mode and error budget.  Unsafe queries (no
+        hierarchical FD-reduct) are routed to the d-tree engine regardless of
+        the requested plan style.
         """
         if plan not in PLAN_STYLES:
             raise PlanningError(f"unknown plan style {plan!r}; choose from {PLAN_STYLES}")
@@ -265,14 +322,30 @@ class SproutEngine:
             raise PlanningError(
                 f"unknown execution mode {execution!r}; choose from {EXECUTION_MODES}"
             )
+        if confidence is None:
+            confidence = self.confidence
+        elif confidence not in CONFIDENCE_MODES:
+            raise PlanningError(
+                f"unknown confidence mode {confidence!r}; choose from {CONFIDENCE_MODES}"
+            )
+        if epsilon is None:
+            epsilon = self.epsilon
+        elif epsilon < 0.0:
+            raise PlanningError(f"epsilon must be non-negative, got {epsilon}")
         uncovered = query.uncovered_selections()
         if uncovered:
             raise UnsupportedQueryError(
                 f"query {query.name!r} has selection conditions spanning several tables "
                 f"({[str(p) for p in uncovered]}); only per-table selections are supported"
             )
+        if plan == "dtree" or confidence == "approx":
+            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
         if plan == "lineage":
             return self._evaluate_lineage(query, join_order, execution)
+        if not self.is_tractable(query, use_fds):
+            # Unsafe query: no safe plan and no hierarchical FD-reduct exists.
+            # Route to the anytime d-tree engine instead of raising.
+            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
         if plan == "lazy":
             if execution == "batch":
                 return self._evaluate_lazy_batch(
@@ -487,6 +560,62 @@ class SproutEngine:
             answer_rows=len(answer),
             rows_processed=rows_processed,
             scans_used=1,
+        )
+
+    # -- d-tree path (unsafe queries and anytime approximation) -------------------------
+
+    def _evaluate_dtree(
+        self,
+        query: ConjunctiveQuery,
+        join_order: Optional[Sequence[str]],
+        execution: str,
+        confidence: str,
+        epsilon: float,
+    ) -> EvaluationResult:
+        """Evaluate via lineage + decomposition trees.
+
+        ``confidence="exact"`` compiles every tuple's d-tree to completion
+        (raising :class:`repro.errors.ApproximationBudgetError` if the step
+        cap is hit first); ``"approx"`` stops at the ``epsilon`` budget and
+        records guaranteed bounds in :attr:`EvaluationResult.bounds`.
+        """
+        started = perf_counter()
+        answer, order, rows_processed = self._answer_relation(query, join_order, execution)
+        tuples_seconds = perf_counter() - started
+
+        started = perf_counter()
+        results = approximate_confidences_from_lineage(
+            answer,
+            epsilon=0.0 if confidence == "exact" else epsilon,
+            max_steps=self.dtree_max_steps,
+            monte_carlo_samples=(
+                None if confidence == "exact" else self.monte_carlo_samples
+            ),
+        )
+        prob_seconds = perf_counter() - started
+
+        data_attributes = [a for a in answer.schema if a.role is ColumnRole.DATA]
+        schema = Schema(list(data_attributes) + [Attribute("conf", "float")])
+        relation = Relation(query.name, schema)
+        bounds: Dict[Tuple[object, ...], Tuple[float, float]] = {}
+        for data, result in sorted(results.items(), key=lambda item: repr(item[0])):
+            relation.append(tuple(data) + (result.probability,))
+            bounds[tuple(data)] = (result.lower, result.upper)
+        return EvaluationResult(
+            query_name=query.name,
+            plan_style="dtree",
+            relation=relation,
+            signature=None,
+            execution=execution,
+            join_order=order,
+            tuples_seconds=tuples_seconds,
+            prob_seconds=prob_seconds,
+            answer_rows=len(answer),
+            rows_processed=rows_processed,
+            scans_used=1,
+            confidence=confidence,
+            epsilon=None if confidence == "exact" else epsilon,
+            bounds=bounds,
         )
 
     # -- helpers -----------------------------------------------------------------------

@@ -35,7 +35,7 @@ from repro.query.signature import (
     one_scan_tree,
     sort_table_order,
 )
-from repro.storage.external_sort import sort_key_for
+
 from repro.storage.relation import Relation
 from repro.storage.schema import Attribute, ColumnRole, Schema
 

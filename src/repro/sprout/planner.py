@@ -16,10 +16,10 @@ propagation steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.errors import PlanningError, QueryError
+from repro.errors import PlanningError
 from repro.algebra.aggregate import AggregateSpec, GroupByOp
 from repro.algebra.columnar import (
     DEFAULT_BATCH_ROWS,
@@ -32,13 +32,13 @@ from repro.algebra.columnar import (
     ColumnBatch,
     group_by_columns,
 )
-from repro.algebra.expressions import Predicate, TruePredicate
-from repro.algebra.joins import HashJoinOp, natural_join_attributes
+from repro.algebra.expressions import TruePredicate
+from repro.algebra.joins import HashJoinOp
 from repro.algebra.operators import MaterializedOp, Operator, ProjectOp, ScanOp, SelectOp
 from repro.algebra.stats import StatisticsCatalog, estimate_selectivity
 from repro.prob.pdb import ProbabilisticDatabase
 from repro.query.conjunctive import ConjunctiveQuery
-from repro.query.hierarchy import HierarchyNode, build_hierarchy
+from repro.query.hierarchy import HierarchyNode
 from repro.storage.relation import Relation
 from repro.storage.schema import ColumnRole, Schema
 

@@ -12,7 +12,7 @@ the final scan over ``(Cust(Ord Item*)*)*``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import QueryError
 from repro.algebra.aggregate import AggregateSpec, GroupByOp
@@ -23,7 +23,6 @@ from repro.query.signature import (
     StarSig,
     TableSig,
     has_one_scan_property,
-    num_scans,
 )
 from repro.sprout.onescan import (
     ColumnMap,

@@ -8,7 +8,7 @@ the relation schema.
 from __future__ import annotations
 
 import csv
-from typing import Iterable, List, Optional
+from typing import Optional
 
 from repro.errors import StorageError
 from repro.storage.relation import Relation

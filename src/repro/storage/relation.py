@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import SchemaError
-from repro.storage.schema import Attribute, ColumnRole, Schema
+from repro.storage.schema import Schema
 
 __all__ = ["Relation"]
 

@@ -227,7 +227,9 @@ class Schema:
                 order.append(attribute.source)
             elif attribute.role is ColumnRole.PROB:
                 if attribute.source in probs_by_source:
-                    raise SchemaError(f"duplicate probability column for table {attribute.source!r}")
+                    raise SchemaError(
+                        f"duplicate probability column for table {attribute.source!r}"
+                    )
                 probs_by_source[attribute.source] = (position, attribute.name)
         if set(vars_by_source) != set(probs_by_source):
             missing = set(vars_by_source) ^ set(probs_by_source)

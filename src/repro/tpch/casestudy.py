@@ -12,7 +12,7 @@ reported counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.errors import NonHierarchicalQueryError
 from repro.query.fd import fd_reduct

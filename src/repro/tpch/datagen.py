@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.storage.relation import Relation
 from repro.tpch.schema import TPCH_TABLES, tpch_schema
@@ -198,7 +198,12 @@ def generate_tpch(scale_factor: float = 0.001, seed: int = 7) -> TpchData:
                     line_number,
                     rng.randint(1, 50),
                     round(rng.uniform(900.0, 105_000.0), 2),
-                    round(rng.choice([0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1]), 2),
+                    round(
+                        rng.choice(
+                            [0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1]
+                        ),
+                        2,
+                    ),
                     rng.choice(RETURN_FLAGS),
                     _date(rng),
                     rng.choice(SHIP_MODES),

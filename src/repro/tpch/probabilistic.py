@@ -14,7 +14,7 @@ TPC-H query 7's self-join ("each table copy has distinct tuples").
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.prob.pdb import ProbabilisticDatabase
 from repro.tpch.datagen import TpchData, generate_tpch

@@ -24,11 +24,17 @@ one named customer).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import QueryError
-from repro.algebra.expressions import Comparison, Conjunction, Disjunction, Predicate, conjunction_of
+from repro.algebra.expressions import (
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Predicate,
+    conjunction_of,
+)
 from repro.query.conjunctive import Atom, ConjunctiveQuery
 
 __all__ = [
@@ -140,8 +146,8 @@ def _build_registry() -> None:
         selections=conjunction_of(
             [_eq("c_mktsegment", "BUILDING"), Comparison("o_orderdate", "<", "1995-03-15")]
         ),
-        notes="The key orderkey is in the projection list, which lifts MystiQ's join-order restriction; "
-        "the Boolean variant B3 needs the orderkey→custkey FD.",
+        notes="The key orderkey is in the projection list, which lifts MystiQ's "
+        "join-order restriction; the Boolean variant B3 needs the orderkey→custkey FD.",
     )
 
     # Q4: order priority checking (exists lineitem).
@@ -220,8 +226,9 @@ def _build_registry() -> None:
             ]
         ),
         needs_fds=True,
-        notes="The two nation copies select disjoint tuples, so the self-join is unproblematic "
-        "(Section IV); the signature is Nation1 Supp (Nation2 (Cust (Ord Item*)*)*)* (Example V.9).",
+        notes="The two nation copies select disjoint tuples, so the self-join is "
+        "unproblematic (Section IV); the signature is "
+        "Nation1 Supp (Nation2 (Cust (Ord Item*)*)*)* (Example V.9).",
     )
 
     # Q8: national market share — excluded (same hard pattern as Q5).
@@ -238,7 +245,9 @@ def _build_registry() -> None:
             Atom("region", ["regionkey", "r_name"]),
         ],
         projection=["o_orderdate"],
-        selections=conjunction_of([_eq("r_name", "AMERICA"), _eq("p_type", "ECONOMY ANODIZED STEEL")]),
+        selections=conjunction_of(
+            [_eq("r_name", "AMERICA"), _eq("p_type", "ECONOMY ANODIZED STEEL")]
+        ),
         executable=False,
         notes="Excluded: lineitem joins part/supplier/orders on three attributes pairwise "
         "not nested (#P-hard pattern).",

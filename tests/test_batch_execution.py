@@ -10,7 +10,6 @@ against each other.
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import Atom, ConjunctiveQuery, SproutEngine
 from repro.errors import PlanningError, QueryError

@@ -57,7 +57,9 @@ class TestApplySemantics:
         result = apply_semantics(answer, parse_signature("(Cust* (Ord* Item*)*)*"))
         assert result.aggregation_count == 5
         assert result.propagation_count == 2
-        assert all(step.rows_in >= step.rows_out for step in result.steps if step.kind == "aggregate")
+        assert all(
+            step.rows_in >= step.rows_out for step in result.steps if step.kind == "aggregate"
+        )
 
     def test_reduce_relation_keeps_leader_pair(self):
         answer = paper_answer_relation()

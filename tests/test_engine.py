@@ -71,7 +71,9 @@ class TestMoreQueriesAgainstEnumeration:
             [Atom("Cust", ["ckey", "cname"]), Atom("Ord", ["okey", "ckey", "odate"])],
             projection=["cname"],
         )
-        yield ConjunctiveQuery("single", [Atom("Ord", ["okey", "ckey", "odate"])], projection=["ckey"])
+        yield ConjunctiveQuery(
+            "single", [Atom("Ord", ["okey", "ckey", "odate"])], projection=["ckey"]
+        )
         yield ConjunctiveQuery(
             "selection-disjunction",
             [Atom("Ord", ["okey", "ckey", "odate"])],
@@ -127,20 +129,27 @@ class TestHardQueries:
             selections=Comparison("cname", "=", "Joe"),
         )
 
-    def test_rejected_without_fds(self, paper_db):
-        engine = SproutEngine(paper_db)
+    def test_unsafe_routed_to_dtree_without_fds(self, paper_db):
         db_without_keys = build_paper_database()
         # paper_db declares okey as key of Ord, which makes Q' tractable; build
-        # a database without that key to exercise the rejection path.
+        # a database without that key to exercise the unsafe-query path.
         fresh = ProbabilisticDatabase("no-keys")
         for name in ("Cust", "Ord", "Item"):
             table = db_without_keys.table(name)
             data = table.relation.project(list(table.data_schema.names))
             fresh.add_table(data, probabilities=0.5, name=name)
         engine = SproutEngine(fresh)
-        with pytest.raises(NonHierarchicalQueryError):
-            engine.evaluate(self.hard_query(), plan="lazy")
         assert not engine.is_tractable(self.hard_query())
+        # Operator plans cannot process the query (no hierarchical signature
+        # exists), so the engine routes it to the d-tree path instead of
+        # raising, and the result is still exact.
+        result = engine.evaluate(self.hard_query(), plan="lazy")
+        assert result.plan_style == "dtree"
+        assert result.confidence == "exact"
+        truth = enumerate_truth(fresh, self.hard_query())
+        assert_confidences_close(result.confidences(), truth)
+        with pytest.raises(NonHierarchicalQueryError):
+            engine.signature_for(self.hard_query())
 
     def test_lineage_fallback_still_works(self, paper_db):
         engine = SproutEngine(paper_db)

@@ -27,7 +27,14 @@ def both(predicate, row_dict, row_tuple):
 class TestComparison:
     @pytest.mark.parametrize(
         "op,value,expected",
-        [("=", 5, True), ("!=", 5, False), ("<", 6, True), ("<=", 5, True), (">", 5, False), (">=", 5, True)],
+        [
+            ("=", 5, True),
+            ("!=", 5, False),
+            ("<", 6, True),
+            ("<=", 5, True),
+            (">", 5, False),
+            (">=", 5, True),
+        ],
     )
     def test_operators(self, op, value, expected):
         predicate = Comparison("a", op, value)

@@ -1,6 +1,5 @@
 """Tests for the scan-based confidence operator (Fig. 8)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

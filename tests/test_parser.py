@@ -13,7 +13,9 @@ from repro.storage.schema import Schema
 def catalog():
     catalog = Catalog()
     catalog.register_table("cust", Schema.of("ckey:int", "cname:str"), primary_key=["ckey"])
-    catalog.register_table("ord", Schema.of("okey:int", "ckey:int", "odate:date"), primary_key=["okey"])
+    catalog.register_table(
+        "ord", Schema.of("okey:int", "ckey:int", "odate:date"), primary_key=["okey"]
+    )
     catalog.register_table("item", Schema.of("okey:int", "discount:float"))
     return catalog
 

@@ -6,7 +6,6 @@ family of query shapes (one-to-many joins, products, projections), and the
 engine's plan styles are checked against brute-force world enumeration.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -33,7 +32,9 @@ def two_table_database(draw):
     r_probs = [draw(probabilities) for _ in r_rows]
     s_probs = [draw(probabilities) for _ in s_rows]
     db = ProbabilisticDatabase("prop")
-    db.add_table(Relation("R", Schema.of("a:int"), r_rows), probabilities=r_probs, primary_key=["a"])
+    db.add_table(
+        Relation("R", Schema.of("a:int"), r_rows), probabilities=r_probs, primary_key=["a"]
+    )
     db.add_table(Relation("S", Schema.of("a:int", "b:int"), s_rows), probabilities=s_probs)
     return db
 

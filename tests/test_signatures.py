@@ -211,7 +211,9 @@ class TestOneScanTree:
 
 class TestEqualityAndStructure:
     def test_equality_by_structure(self):
-        assert parse_signature("(R S*)*") == StarSig(ConcatSig([TableSig("R"), StarSig(TableSig("S"))]))
+        assert parse_signature("(R S*)*") == StarSig(
+            ConcatSig([TableSig("R"), StarSig(TableSig("S"))])
+        )
 
     def test_concat_flattening(self):
         nested = ConcatSig([TableSig("A"), ConcatSig([TableSig("B"), TableSig("C")])])

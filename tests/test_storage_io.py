@@ -91,7 +91,9 @@ class TestSortKey:
 class TestCsvIO:
     def test_roundtrip(self, tmp_path):
         schema = Schema.of("a:int", "b:str", "c:float", "flag:bool")
-        relation = Relation("t", schema, [(1, "x", 1.5, True), (2, "y", -3.0, False), (3, None, None, None)])
+        relation = Relation(
+            "t", schema, [(1, "x", 1.5, True), (2, "y", -3.0, False), (3, None, None, None)]
+        )
         path = str(tmp_path / "t.csv")
         write_csv(relation, path)
         loaded = read_csv(path, schema, name="t")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.query.hierarchy import is_hierarchical
+
 from repro.tpch.casestudy import case_study_table, classify_all, classify_query
 from repro.tpch.datagen import MKT_SEGMENTS, NATIONS, REGIONS, generate_tpch
 from repro.tpch.probabilistic import make_probabilistic_tpch
@@ -12,7 +12,6 @@ from repro.tpch.queries import (
     FIGURE9_KEYS,
     all_query_keys,
     excluded_query_keys,
-    executable_query_keys,
     query_A,
     query_B,
     query_C,

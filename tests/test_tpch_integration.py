@@ -9,7 +9,7 @@ import pytest
 
 from repro.errors import UnsafePlanError
 from repro.safeplans import MystiqEngine
-from repro.sprout import SproutEngine
+
 from repro.tpch.queries import FIGURE9_KEYS, query_A, query_B, query_C, query_D, tpch_query
 
 from helpers import assert_confidences_close
@@ -21,7 +21,9 @@ pytestmark = pytest.mark.slow
 
 #: Queries covering every structural case: single table, key joins, FD-reducts,
 #: Boolean variants, the nation aliases, and the hand-written A-D queries.
-INTEGRATION_KEYS = ["1", "3", "B3", "4", "10", "11", "12", "15", "16", "B17", "18", "B18", "20", "7"]
+INTEGRATION_KEYS = [
+    "1", "3", "B3", "4", "10", "11", "12", "15", "16", "B17", "18", "B18", "20", "7",
+]
 
 
 @pytest.fixture(scope="module")
