@@ -1,0 +1,142 @@
+"""Top-k/threshold bound pruning vs. uniform per-tuple epsilon refinement.
+
+The multi-tuple scheduler (:mod:`repro.sprout.topk`) refines only the tuples
+whose brackets gate the answer-set decision.  This benchmark quantifies the
+saving on an unsafe TPC-H query
+
+    q(p_brand) :- part(partkey, p_brand), partsupp(partkey, suppkey,
+                  ps_availqty), supplier(suppkey), ps_availqty < 3000
+
+(non-hierarchical: partkey and suppkey each cross two atoms) whose 25 brand
+confidences spread over [0.5, 0.99].  The baseline refines all 25 tuples to
+epsilon=0.01; ``evaluate_topk(k=10)`` must *provably decide* the top-10 set in
+measurably fewer d-tree expansion steps — the assertion the CI artifact
+tracks.  The instance is pinned to SF 0.001 (independent of
+``REPRO_TPCH_SF``): step counts are a property of this exact workload, and
+the contrast claim is calibrated on it.
+
+Each measured call builds a fresh engine: the shared lineage → d-tree cache
+would otherwise let later rounds start from already refined trees and report
+zero steps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, SproutEngine
+from repro.algebra import Comparison, conjunction_of
+from repro.tpch import probabilistic_tpch
+
+from conftest import run_benchmark
+
+K = 10
+EPSILON = 0.01
+TAU = 0.9
+AVAILQTY_CUT = 3000
+
+
+@pytest.fixture(scope="module")
+def pruning_db():
+    return probabilistic_tpch(scale_factor=0.001, seed=7, probability_seed=11)
+
+
+def brand_query() -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        "unsafe_brands",
+        [
+            Atom("part", ["partkey", "p_brand"]),
+            Atom("partsupp", ["partkey", "suppkey", "ps_availqty"]),
+            Atom("supplier", ["suppkey"]),
+        ],
+        projection=["p_brand"],
+        selections=conjunction_of([Comparison("ps_availqty", "<", AVAILQTY_CUT)]),
+    )
+
+
+def test_full_epsilon_refinement(benchmark, pruning_db):
+    """Baseline: every tuple refined to the uniform epsilon budget."""
+    result = run_benchmark(
+        benchmark,
+        lambda: SproutEngine(pruning_db).evaluate(
+            brand_query(), confidence="approx", epsilon=EPSILON
+        ),
+    )
+    benchmark.extra_info["tuples"] = result.distinct_tuples
+    benchmark.extra_info["refine_steps"] = result.refine_steps
+    assert result.distinct_tuples == 25
+
+
+def test_topk_bound_pruning(benchmark, pruning_db):
+    """Top-k decision with bound pruning: provably decided, fewer steps."""
+    query = brand_query()
+    baseline = SproutEngine(pruning_db).evaluate(
+        query, confidence="approx", epsilon=EPSILON
+    )
+    result = run_benchmark(
+        benchmark,
+        lambda: SproutEngine(pruning_db).evaluate_topk(
+            query, k=K, confidence="approx"
+        ),
+    )
+    benchmark.extra_info["k"] = K
+    benchmark.extra_info["refine_steps"] = result.refine_steps
+    benchmark.extra_info["baseline_steps"] = baseline.refine_steps
+    assert result.decided
+    assert result.distinct_tuples == K
+    # The acceptance claim: deciding the top-10 set takes measurably fewer
+    # d-tree expansions than refining all 25 tuples to epsilon=0.01.
+    assert result.refine_steps < baseline.refine_steps
+    # The decided set must dominate: no excluded tuple's upper bound may beat
+    # a selected tuple's lower bound.
+    selected = set(result.confidences())
+    excluded_upper = max(
+        upper for data, (_, upper) in result.bounds.items() if data not in selected
+    )
+    selected_lower = min(
+        lower for data, (lower, _) in result.bounds.items() if data in selected
+    )
+    assert selected_lower >= excluded_upper
+
+
+def test_topk_exact_finishing(benchmark, pruning_db):
+    """Exact mode: decide via bounds, then refine only the winners to exactness."""
+    result = run_benchmark(
+        benchmark,
+        lambda: SproutEngine(pruning_db).evaluate_topk(brand_query(), k=K),
+    )
+    benchmark.extra_info["refine_steps"] = result.refine_steps
+    assert result.decided
+    for data, _ in result.confidences().items():
+        lower, upper = result.bounds[data]
+        assert upper - lower <= 1e-12
+
+
+def test_threshold_partition(benchmark, pruning_db):
+    """τ-partition latency and steps (tracked, not asserted against baseline)."""
+    result = run_benchmark(
+        benchmark,
+        lambda: SproutEngine(pruning_db).evaluate_threshold(brand_query(), tau=TAU),
+    )
+    benchmark.extra_info["tau"] = TAU
+    benchmark.extra_info["refine_steps"] = result.refine_steps
+    benchmark.extra_info["selected"] = result.distinct_tuples
+    assert result.decided
+    for data, (lower, upper) in result.bounds.items():
+        if data in set(result.confidences()):
+            assert lower >= TAU - 1e-12
+        else:
+            assert upper < TAU + 1e-12
+
+
+def test_repeat_topk_hits_dtree_cache(benchmark, pruning_db):
+    """A second top-k over the same lineage reuses the refined trees."""
+    engine = SproutEngine(pruning_db)
+    engine.evaluate_topk(brand_query(), k=K)  # warm the cache
+
+    result = run_benchmark(benchmark, engine.evaluate_topk, brand_query(), K)
+    benchmark.extra_info["refine_steps"] = result.refine_steps
+    benchmark.extra_info["cache_hits"] = engine.dtree_cache.hits
+    assert result.decided
+    assert result.refine_steps == 0
+    assert engine.dtree_cache.hits > 0

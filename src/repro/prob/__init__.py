@@ -3,9 +3,11 @@
 from repro.prob.dtree import (
     ApproxResult,
     DTree,
+    DTreeCache,
     MonteCarloResult,
     dtree_probability,
     karp_luby_probability,
+    refine_to_budget,
 )
 from repro.prob.formulas import (
     DNF,
@@ -22,6 +24,7 @@ from repro.prob.formulas import (
 from repro.prob.lineage import (
     approximate_confidences_from_lineage,
     confidences_from_lineage,
+    dtrees_from_lineage,
     lineage_by_tuple,
     probabilities_from_answer,
     split_answer_columns,
@@ -38,6 +41,7 @@ __all__ = [
     "Bottom",
     "DNF",
     "DTree",
+    "DTreeCache",
     "Formula",
     "MonteCarloResult",
     "Or",
@@ -55,11 +59,13 @@ __all__ = [
     "dnf_probability",
     "dnf_probability_enumeration",
     "dtree_probability",
+    "dtrees_from_lineage",
     "hub_lineage",
     "is_read_once",
     "karp_luby_probability",
     "lineage_by_tuple",
     "make_tuple_independent",
     "probabilities_from_answer",
+    "refine_to_budget",
     "split_answer_columns",
 ]

@@ -59,8 +59,10 @@ __all__ = [
     "ApproxResult",
     "MonteCarloResult",
     "DTree",
+    "DTreeCache",
     "dtree_probability",
     "karp_luby_probability",
+    "refine_to_budget",
 ]
 
 Clause = FrozenSet[int]
@@ -278,11 +280,24 @@ class DTree:
     lazy max-heap of (influence, leaf) entries whose influence weights are
     recomputed globally every :data:`_REFRESH_EVERY` expansions, so a single
     step costs O(path length) rather than O(tree size).
+
+    The tree is *resumable*: :meth:`refine` performs a bounded number of
+    expansions and may be called again later to tighten the bounds further —
+    the multi-tuple top-k/threshold scheduler relies on this to interleave
+    refinement across candidate tuples.  ``memo`` may be a dictionary shared
+    between several trees over the same variable space (see
+    :class:`DTreeCache`) so that closed subformulas compiled for one tuple's
+    lineage are reused verbatim by every other tuple that contains them.
     """
 
-    def __init__(self, dnf: DNF, probabilities: Mapping[int, float]):
+    def __init__(
+        self,
+        dnf: DNF,
+        probabilities: Mapping[int, float],
+        memo: Optional[Dict[FrozenSet[Clause], float]] = None,
+    ):
         self.probabilities = probabilities
-        self.memo: Dict[FrozenSet[Clause], float] = {}
+        self.memo: Dict[FrozenSet[Clause], float] = {} if memo is None else memo
         for variable in dnf.variables():
             if variable not in probabilities:
                 raise ProbabilityError(f"no probability for variable {variable}")
@@ -422,6 +437,10 @@ class DTree:
     def is_exact(self) -> bool:
         return isinstance(self.root, _Closed)
 
+    @property
+    def gap(self) -> float:
+        return self.root.upper - self.root.lower
+
     def expand_once(self) -> bool:
         """Expand the most influential open leaf; False if the tree is closed."""
         if self.steps >= self._next_rebuild:
@@ -440,6 +459,44 @@ class DTree:
             return True
         return False
 
+    def refine(
+        self,
+        steps: Optional[int] = None,
+        *,
+        epsilon: float = 0.0,
+        relative: bool = False,
+    ) -> int:
+        """Perform up to ``steps`` leaf expansions; return how many were done.
+
+        Stops early as soon as the tree closes (exact value reached) or the
+        root interval meets the ``epsilon`` budget.  ``steps=None`` removes
+        the per-call cap, so ``refine(epsilon=0.0)`` compiles to exactness.
+        The method is resumable: successive calls continue tightening the
+        same monotone bracket, which is what lets a multi-tuple scheduler
+        hand out refinement quanta to whichever tuple needs them most.
+        """
+        performed = 0
+        while steps is None or performed < steps:
+            if self.is_exact or _budget_met(
+                self.root.lower, self.root.upper, epsilon, relative
+            ):
+                break
+            if not self.expand_once():
+                break
+            performed += 1
+        return performed
+
+    def result(self) -> ApproxResult:
+        """The current bracket packaged as an :class:`ApproxResult`."""
+        lower, upper = self.bounds()
+        return ApproxResult(
+            probability=0.5 * (lower + upper),
+            lower=lower,
+            upper=upper,
+            steps=self.steps,
+            exact=self.is_exact or upper == lower,
+        )
+
 
 def _budget_met(
     lower: float, upper: float, epsilon: float, relative: bool
@@ -452,6 +509,46 @@ def _budget_met(
     return gap <= 2.0 * epsilon
 
 
+def refine_to_budget(
+    tree: DTree,
+    *,
+    epsilon: float = 0.0,
+    relative: bool = False,
+    max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+) -> ApproxResult:
+    """Drive ``tree`` until the ``epsilon`` budget is met or it closes.
+
+    ``max_steps`` caps the expansions performed *by this call*, and the
+    returned :class:`ApproxResult`'s ``steps`` counts this call's expansions
+    only (a cached tree may already carry refinement from earlier
+    evaluations; that work is neither charged against the cap nor reported
+    again).  Exceeding the cap raises a structured
+    :class:`repro.errors.ApproximationBudgetError` carrying the best bounds
+    so far; pass ``max_steps=None`` to disable the cap.
+    """
+    if epsilon < 0.0:
+        raise ProbabilityError(f"epsilon must be non-negative, got {epsilon}")
+    # tree.refine re-checks exactness and the epsilon budget before every
+    # single expansion, so one call with the whole cap is all it takes.
+    spent = tree.refine(max_steps, epsilon=epsilon, relative=relative)
+    lower, upper = tree.bounds()
+    if not (tree.is_exact or _budget_met(lower, upper, epsilon, relative)):
+        raise ApproximationBudgetError(
+            lower=lower,
+            upper=upper,
+            epsilon=epsilon,
+            relative=relative,
+            steps=spent,
+        )
+    return ApproxResult(
+        probability=0.5 * (lower + upper),
+        lower=lower,
+        upper=upper,
+        steps=spent,
+        exact=tree.is_exact or upper == lower,
+    )
+
+
 def dtree_probability(
     dnf: DNF,
     probabilities: Mapping[int, float],
@@ -459,6 +556,7 @@ def dtree_probability(
     epsilon: float = 0.0,
     relative: bool = False,
     max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+    cache: Optional["DTreeCache"] = None,
 ) -> ApproxResult:
     """Probability of a positive DNF via anytime d-tree compilation.
 
@@ -468,33 +566,95 @@ def dtree_probability(
     (absolutely, or relatively to it when ``relative`` is true).  If
     ``max_steps`` leaf expansions do not reach the budget, a structured
     :class:`repro.errors.ApproximationBudgetError` carrying the best bounds so
-    far is raised; pass ``max_steps=None`` to disable the cap.
+    far is raised; pass ``max_steps=None`` to disable the cap.  ``cache``
+    reuses (and keeps refining) the tree compiled for the same lineage by an
+    earlier call.
     """
-    if epsilon < 0.0:
-        raise ProbabilityError(f"epsilon must be non-negative, got {epsilon}")
-    tree = DTree(dnf, probabilities)
-    while True:
-        lower, upper = tree.bounds()
-        if tree.is_exact or _budget_met(lower, upper, epsilon, relative):
-            break
-        if max_steps is not None and tree.steps >= max_steps:
-            raise ApproximationBudgetError(
-                lower=lower,
-                upper=upper,
-                epsilon=epsilon,
-                relative=relative,
-                steps=tree.steps,
-            )
-        if not tree.expand_once():
-            break
-    lower, upper = tree.bounds()
-    return ApproxResult(
-        probability=0.5 * (lower + upper),
-        lower=lower,
-        upper=upper,
-        steps=tree.steps,
-        exact=tree.is_exact or upper == lower,
-    )
+    tree = cache.get(dnf, probabilities) if cache is not None else DTree(dnf, probabilities)
+    return refine_to_budget(tree, epsilon=epsilon, relative=relative, max_steps=max_steps)
+
+
+class DTreeCache:
+    """A shared lineage → :class:`DTree` cache.
+
+    Repeated evaluations over overlapping candidate sets (successive top-k
+    calls, threshold sweeps with different τ, an exact re-check after an
+    anytime run) keep hitting the same per-tuple lineage.  The cache hands
+    back the *same* incrementally compiled tree, so refinement accumulates
+    across calls instead of restarting from scratch, and all trees share one
+    closed-subformula memo, so a subformula compiled under one tuple closes
+    instantly under every other tuple.
+
+    All lookups must use probabilities from the same variable space (one
+    probabilistic database): entries are keyed by the clause set alone.
+    ``max_entries`` bounds the tree cache with LRU eviction; the shared memo
+    (whose entries are not attributable to a single tree) is capped at
+    ``memo_limit`` and simply reset when it overflows — it is a pure
+    accelerator, so dropping it never affects correctness.
+    """
+
+    def __init__(
+        self, max_entries: Optional[int] = 4096, memo_limit: Optional[int] = 1_000_000
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ProbabilityError(f"max_entries must be positive, got {max_entries}")
+        if memo_limit is not None and memo_limit < 1:
+            raise ProbabilityError(f"memo_limit must be positive, got {memo_limit}")
+        self.max_entries = max_entries
+        self.memo_limit = memo_limit
+        self.hits = 0
+        self.misses = 0
+        self._trees: Dict[FrozenSet[Clause], DTree] = {}
+        self._memo: Dict[FrozenSet[Clause], float] = {}
+        #: Every (variable, probability) pair the cache has ever seen: both the
+        #: cached trees *and* the shared memo are only valid under these values,
+        #: so a lookup that contradicts them is a misuse and raises.
+        self._probabilities: Dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def _check_space(self, dnf: DNF, probabilities: Mapping[int, float]) -> None:
+        recorded = self._probabilities
+        for variable in dnf.variables():
+            value = probabilities.get(variable)
+            existing = recorded.get(variable)
+            if existing is None:
+                if value is not None:
+                    recorded[variable] = value
+            elif existing != value:
+                raise ProbabilityError(
+                    f"DTreeCache is bound to one probability space: variable "
+                    f"{variable} was cached with probability {existing}, "
+                    f"now given {value}"
+                )
+
+    def get(self, dnf: DNF, probabilities: Mapping[int, float]) -> DTree:
+        """The (possibly already refined) tree for ``dnf``, building on a miss."""
+        self._check_space(dnf, probabilities)
+        key = dnf.clauses
+        tree = self._trees.get(key)
+        if tree is not None:
+            self.hits += 1
+            self._trees[key] = self._trees.pop(key)  # mark most recently used
+            return tree
+        self.misses += 1
+        if self.memo_limit is not None and len(self._memo) > self.memo_limit:
+            # Live trees keep their reference to the dict; rebinding gives new
+            # trees a fresh one instead of mutating it out from under them.
+            self._memo = {}
+        tree = DTree(dnf, probabilities, memo=self._memo)
+        self._trees[key] = tree
+        if self.max_entries is not None and len(self._trees) > self.max_entries:
+            self._trees.pop(next(iter(self._trees)))
+        return tree
+
+    def clear(self) -> None:
+        self._trees.clear()
+        self._memo.clear()
+        self._probabilities.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 # ---------------------------------------------------------------------------

@@ -11,12 +11,15 @@ is checked against.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ApproximationBudgetError, ProbabilityError
 from repro.prob.dtree import (
     DEFAULT_MAX_STEPS,
     ApproxResult,
+    DTree,
+    DTreeCache,
     dtree_probability,
     karp_luby_probability,
 )
@@ -30,6 +33,7 @@ __all__ = [
     "probabilities_from_answer",
     "confidences_from_lineage",
     "approximate_confidences_from_lineage",
+    "dtrees_from_lineage",
 ]
 
 DataTuple = Tuple[object, ...]
@@ -121,6 +125,8 @@ def approximate_confidences_from_lineage(
     relative: bool = False,
     max_steps: Optional[int] = DEFAULT_MAX_STEPS,
     monte_carlo_samples: Optional[int] = 10_000,
+    rng: Optional[random.Random] = None,
+    cache: Optional[DTreeCache] = None,
 ) -> Dict[DataTuple, ApproxResult]:
     """Anytime d-tree confidence of every distinct data tuple in ``answer``.
 
@@ -128,9 +134,12 @@ def approximate_confidences_from_lineage(
     ``epsilon`` budget is met (``epsilon == 0`` compiles to exactness); the
     result maps each tuple to an :class:`repro.prob.dtree.ApproxResult` with
     guaranteed lower/upper bounds.  When compilation exhausts ``max_steps``
-    and ``monte_carlo_samples`` is set, the Karp–Luby estimator supplies the
-    point estimate (clamped into the d-tree's sound bracket) instead of
-    propagating :class:`repro.errors.ApproximationBudgetError`.
+    and ``monte_carlo_samples`` is set, the Karp–Luby estimator (drawing from
+    ``rng``, for reproducibility across runs) supplies the point estimate
+    (clamped into the d-tree's sound bracket) instead of propagating
+    :class:`repro.errors.ApproximationBudgetError`.  ``cache`` reuses the
+    incrementally compiled trees across evaluations of overlapping candidate
+    sets.
     """
     if probabilities is None:
         probabilities = probabilities_from_answer(answer)
@@ -143,12 +152,13 @@ def approximate_confidences_from_lineage(
                 epsilon=epsilon,
                 relative=relative,
                 max_steps=max_steps,
+                cache=cache,
             )
         except ApproximationBudgetError as error:
             if monte_carlo_samples is None:
                 raise
             estimate = karp_luby_probability(
-                dnf, probabilities, samples=monte_carlo_samples
+                dnf, probabilities, samples=monte_carlo_samples, rng=rng
             ).estimate
             results[data] = ApproxResult(
                 probability=min(max(estimate, error.lower), error.upper),
@@ -158,3 +168,28 @@ def approximate_confidences_from_lineage(
                 exact=False,
             )
     return results
+
+
+def dtrees_from_lineage(
+    answer: Relation,
+    probabilities: Optional[Mapping[int, float]] = None,
+    *,
+    cache: Optional[DTreeCache] = None,
+) -> Dict[DataTuple, DTree]:
+    """One (resumable) decomposition tree per distinct data tuple in ``answer``.
+
+    The entry point of the top-k/threshold scheduler: it needs live
+    :class:`repro.prob.dtree.DTree` handles it can refine selectively, rather
+    than results refined to a uniform budget.  With ``cache`` set, tuples seen
+    in earlier evaluations come back with their refinement intact.
+    """
+    if probabilities is None:
+        probabilities = probabilities_from_answer(answer)
+    return {
+        data: (
+            cache.get(dnf, probabilities)
+            if cache is not None
+            else DTree(dnf, probabilities)
+        )
+        for data, dnf in lineage_by_tuple(answer).items()
+    }

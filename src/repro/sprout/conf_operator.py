@@ -32,6 +32,7 @@ __all__ = [
     "ConfStep",
     "ConfOperatorResult",
     "apply_semantics",
+    "compute_answer_confidences",
     "grp_statements",
     "reduce_relation",
 ]
@@ -237,6 +238,43 @@ def reduce_relation(
 
     leader = translate(signature)
     return current, leader
+
+
+def compute_answer_confidences(
+    answer,
+    signature: Signature,
+    conf_method: str = "scans",
+    execution: str = "row",
+    presorted: bool = True,
+    name: Optional[str] = None,
+):
+    """Confidence computation on a materialised (sorted) answer.
+
+    The single dispatch point between the two confidence methods and the two
+    physical backends, shared by the engine's lazy paths and by the exact
+    short-circuit of the top-k/threshold API.  ``answer`` is a
+    :class:`repro.storage.relation.Relation` under ``execution="row"`` and a
+    :class:`repro.algebra.columnar.ColumnBatch` under ``execution="batch"``.
+    Returns ``(relation, scan schedule or None, scans used)``.
+    """
+    from repro.sprout.scans import apply_scan_schedule, apply_scan_schedule_columns
+
+    if conf_method not in ("scans", "semantics"):
+        raise QueryError(
+            f"unknown confidence method {conf_method!r}; choose 'scans' or 'semantics'"
+        )
+    # ColumnBatch carries no name of its own; fall back to the relation's.
+    label = name if name is not None else getattr(answer, "name", "answer")
+    if conf_method == "semantics":
+        relation = answer if execution == "row" else answer.to_relation(label)
+        return apply_semantics(relation, signature, execution=execution).relation, None, 0
+    if execution == "batch":
+        relation, schedule = apply_scan_schedule_columns(
+            answer, signature, presorted=presorted, name=label
+        )
+    else:
+        relation, schedule = apply_scan_schedule(answer, signature, presorted=presorted)
+    return relation, schedule, schedule.total_scans
 
 
 def apply_semantics(

@@ -48,16 +48,24 @@ Orthogonally to both, the *execution mode* selects the physical backend:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import NonHierarchicalQueryError, PlanningError, UnsupportedQueryError
+from repro.errors import (
+    ApproximationBudgetError,
+    NonHierarchicalQueryError,
+    PlanningError,
+    UnsupportedQueryError,
+)
 from repro.algebra.columnar import DEFAULT_BATCH_ROWS, sort_batch
-from repro.prob.dtree import DEFAULT_MAX_STEPS
+from repro.prob.dtree import DEFAULT_MAX_STEPS, DTreeCache, refine_to_budget
 from repro.prob.lineage import (
     approximate_confidences_from_lineage,
     confidences_from_lineage,
+    dtrees_from_lineage,
+    probabilities_from_answer,
 )
 from repro.prob.pdb import ProbabilisticDatabase
 from repro.query.conjunctive import ConjunctiveQuery
@@ -69,17 +77,18 @@ from repro.query.rewrite import (
     is_tractable,
 )
 from repro.query.signature import Signature, num_scans
-from repro.sprout.conf_operator import apply_semantics
+from repro.sprout.conf_operator import compute_answer_confidences
 from repro.sprout.onescan import sort_column_order
 from repro.sprout.planner import (
     JoinOrderPlanner,
     _aggregate_pair,
-    build_answer_plan,
     build_answer_plan_batch,
     eager_evaluation,
+    materialize_answer,
     project_answer_columns,
 )
-from repro.sprout.scans import ScanSchedule, apply_scan_schedule, apply_scan_schedule_columns
+from repro.sprout.scans import ScanSchedule
+from repro.sprout.topk import RefinementScheduler, TupleCandidate
 from repro.storage.heapfile import HeapFile
 from repro.storage.relation import Relation
 from repro.storage.schema import Attribute, ColumnRole, Schema
@@ -118,6 +127,13 @@ class EvaluationResult:
     confidence: str = "exact"
     epsilon: Optional[float] = None
     bounds: Dict[Tuple[object, ...], Tuple[float, float]] = field(default_factory=dict)
+    #: Top-k/threshold metadata: the requested ``k`` or ``tau`` (None for plain
+    #: evaluation), whether the answer set is provably decided, and how many
+    #: d-tree expansions the evaluation spent in total.
+    k: Optional[int] = None
+    tau: Optional[float] = None
+    decided: bool = True
+    refine_steps: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -168,9 +184,15 @@ class SproutEngine:
     ``"approx"`` (anytime d-tree bounds with absolute error budget
     ``epsilon``).  ``dtree_max_steps`` caps d-tree compilation; when the cap
     is hit in approx mode the Karp–Luby estimator (``monte_carlo_samples``
-    draws) supplies the point estimate within the sound d-tree bracket.  Each
+    draws from a generator seeded with ``seed`` afresh on every call, so
+    approximate results are reproducible; ``seed=None`` draws fresh entropy)
+    supplies the point estimate within the sound d-tree bracket.  Each
     :meth:`evaluate` call may override ``execution``, ``confidence``, and
     ``epsilon``.
+
+    The engine keeps one :class:`repro.prob.dtree.DTreeCache` for its
+    lifetime: every d-tree route (plain evaluation, top-k, threshold) reuses
+    and keeps refining the trees compiled for previously seen lineage.
     """
 
     def __init__(
@@ -182,6 +204,7 @@ class SproutEngine:
         epsilon: float = 0.01,
         dtree_max_steps: Optional[int] = DEFAULT_MAX_STEPS,
         monte_carlo_samples: Optional[int] = 10_000,
+        seed: Optional[int] = 0,
     ):
         if execution not in EXECUTION_MODES:
             raise PlanningError(
@@ -202,7 +225,13 @@ class SproutEngine:
         self.epsilon = epsilon
         self.dtree_max_steps = dtree_max_steps
         self.monte_carlo_samples = monte_carlo_samples
+        self.seed = seed
+        self.dtree_cache = DTreeCache()
         self.planner = JoinOrderPlanner(database)
+
+    def _monte_carlo_rng(self) -> random.Random:
+        """A fresh, deterministically seeded generator for one evaluation."""
+        return random.Random(self.seed)
 
     # -- static analysis --------------------------------------------------------
 
@@ -310,6 +339,37 @@ class SproutEngine:
         hierarchical FD-reduct) are routed to the d-tree engine regardless of
         the requested plan style.
         """
+        execution, confidence, epsilon = self._resolve_modes(
+            plan, conf_method, execution, confidence, epsilon
+        )
+        self._check_supported(query)
+        if plan == "dtree" or confidence == "approx":
+            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
+        if plan == "lineage":
+            return self._evaluate_lineage(query, join_order, execution)
+        if not self.is_tractable(query, use_fds):
+            # Unsafe query: no safe plan and no hierarchical FD-reduct exists.
+            # Route to the anytime d-tree engine instead of raising.
+            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
+        if plan == "lazy":
+            if execution == "batch":
+                return self._evaluate_lazy_batch(
+                    query, use_fds, conf_method, join_order, materialize_to_disk
+                )
+            return self._evaluate_lazy(
+                query, use_fds, conf_method, join_order, materialize_to_disk
+            )
+        return self._evaluate_eager_or_hybrid(query, plan, use_fds, execution)
+
+    def _resolve_modes(
+        self,
+        plan: str,
+        conf_method: str,
+        execution: Optional[str],
+        confidence: Optional[str],
+        epsilon: Optional[float],
+    ) -> Tuple[str, str, float]:
+        """Validate plan/method names and fill mode defaults from the engine."""
         if plan not in PLAN_STYLES:
             raise PlanningError(f"unknown plan style {plan!r}; choose from {PLAN_STYLES}")
         if conf_method not in CONF_METHODS:
@@ -332,29 +392,235 @@ class SproutEngine:
             epsilon = self.epsilon
         elif epsilon < 0.0:
             raise PlanningError(f"epsilon must be non-negative, got {epsilon}")
+        return execution, confidence, epsilon
+
+    def _check_supported(self, query: ConjunctiveQuery) -> None:
         uncovered = query.uncovered_selections()
         if uncovered:
             raise UnsupportedQueryError(
                 f"query {query.name!r} has selection conditions spanning several tables "
                 f"({[str(p) for p in uncovered]}); only per-table selections are supported"
             )
-        if plan == "dtree" or confidence == "approx":
-            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
-        if plan == "lineage":
-            return self._evaluate_lineage(query, join_order, execution)
-        if not self.is_tractable(query, use_fds):
-            # Unsafe query: no safe plan and no hierarchical FD-reduct exists.
-            # Route to the anytime d-tree engine instead of raising.
-            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
-        if plan == "lazy":
-            if execution == "batch":
-                return self._evaluate_lazy_batch(
-                    query, use_fds, conf_method, join_order, materialize_to_disk
-                )
-            return self._evaluate_lazy(
-                query, use_fds, conf_method, join_order, materialize_to_disk
+
+    # -- top-k and threshold queries ----------------------------------------------
+
+    def evaluate_topk(
+        self,
+        query: ConjunctiveQuery,
+        k: int,
+        plan: str = "lazy",
+        use_fds: bool = True,
+        conf_method: str = "scans",
+        join_order: Optional[Sequence[str]] = None,
+        execution: Optional[str] = None,
+        confidence: Optional[str] = None,
+        max_steps: Optional[int] = None,
+    ) -> EvaluationResult:
+        """The ``k`` most probable answer tuples of ``query``.
+
+        Tractable queries under ``confidence="exact"`` short-circuit through
+        the requested operator plan (confidences are exact anyway, so the
+        selection is a sort); everything else routes to the bound-driven
+        refinement scheduler, which interleaves d-tree refinement across the
+        candidate tuples and stops as soon as the top-k set is provably
+        decided — no tuple is refined further than the decision requires.
+
+        The result relation holds the selected tuples, most probable first;
+        :attr:`EvaluationResult.bounds` brackets *every* candidate and
+        :attr:`EvaluationResult.decided` reports whether the set is proven
+        (it is False only when ``max_steps`` — default the engine's
+        ``dtree_max_steps`` — ran out first).  Under ``confidence="exact"``
+        the selected tuples' confidences are refined to exactness (an
+        explicit ``max_steps`` bounds that phase too, reporting bracket
+        midpoints when it runs out); under ``"approx"`` they stay bracket
+        midpoints.
+        """
+        if k < 1:
+            raise PlanningError(f"k must be positive, got {k}")
+        return self._evaluate_bounded(
+            query,
+            k=k,
+            tau=None,
+            plan=plan,
+            use_fds=use_fds,
+            conf_method=conf_method,
+            join_order=join_order,
+            execution=execution,
+            confidence=confidence,
+            max_steps=max_steps,
+        )
+
+    def evaluate_threshold(
+        self,
+        query: ConjunctiveQuery,
+        tau: float,
+        plan: str = "lazy",
+        use_fds: bool = True,
+        conf_method: str = "scans",
+        join_order: Optional[Sequence[str]] = None,
+        execution: Optional[str] = None,
+        confidence: Optional[str] = None,
+        max_steps: Optional[int] = None,
+    ) -> EvaluationResult:
+        """The answer tuples whose confidence is at least ``tau``.
+
+        Same routing as :meth:`evaluate_topk`: exact operator plans for
+        tractable queries, the refinement scheduler otherwise — each
+        candidate is refined only until its bracket clears τ on one side.
+        """
+        if not 0.0 <= tau <= 1.0:
+            raise PlanningError(f"tau must be within [0, 1], got {tau}")
+        return self._evaluate_bounded(
+            query,
+            k=None,
+            tau=tau,
+            plan=plan,
+            use_fds=use_fds,
+            conf_method=conf_method,
+            join_order=join_order,
+            execution=execution,
+            confidence=confidence,
+            max_steps=max_steps,
+        )
+
+    def _evaluate_bounded(
+        self,
+        query: ConjunctiveQuery,
+        k: Optional[int],
+        tau: Optional[float],
+        plan: str,
+        use_fds: bool,
+        conf_method: str,
+        join_order: Optional[Sequence[str]],
+        execution: Optional[str],
+        confidence: Optional[str],
+        max_steps: Optional[int],
+    ) -> EvaluationResult:
+        execution, confidence, _ = self._resolve_modes(
+            plan, conf_method, execution, confidence, None
+        )
+        self._check_supported(query)
+        if (
+            confidence == "exact"
+            and plan in ("lazy", "eager", "hybrid")
+            and self.is_tractable(query, use_fds)
+        ):
+            result = self.evaluate(
+                query,
+                plan=plan,
+                use_fds=use_fds,
+                conf_method=conf_method,
+                join_order=join_order,
+                execution=execution,
+                confidence="exact",
             )
-        return self._evaluate_eager_or_hybrid(query, plan, use_fds, execution)
+            return self._select_from_exact(result, k, tau)
+        return self._evaluate_scheduled(
+            query, k, tau, join_order, execution, confidence, max_steps
+        )
+
+    def _select_from_exact(
+        self, result: EvaluationResult, k: Optional[int], tau: Optional[float]
+    ) -> EvaluationResult:
+        """Top-k / threshold selection over already exact confidences."""
+        confidences = result.confidences()
+        ranked = sorted(confidences.items(), key=lambda item: (-item[1], repr(item[0])))
+        if k is not None:
+            chosen = ranked[:k]
+        else:
+            chosen = [(data, conf) for data, conf in ranked if conf >= tau]
+        selected = Relation(result.relation.name, result.relation.schema)
+        for data, conf in chosen:
+            selected.append(tuple(data) + (conf,))
+        result.relation = selected
+        result.bounds = {data: (conf, conf) for data, conf in confidences.items()}
+        result.k = k
+        result.tau = tau
+        result.decided = True
+        return result
+
+    def _evaluate_scheduled(
+        self,
+        query: ConjunctiveQuery,
+        k: Optional[int],
+        tau: Optional[float],
+        join_order: Optional[Sequence[str]],
+        execution: str,
+        confidence: str,
+        max_steps: Optional[int],
+    ) -> EvaluationResult:
+        """Multi-tuple bound-driven refinement over the lineage d-trees."""
+        started = perf_counter()
+        answer, order, rows_processed = self._answer_relation(query, join_order, execution)
+        tuples_seconds = perf_counter() - started
+
+        started = perf_counter()
+        probabilities = probabilities_from_answer(answer)
+        trees = dtrees_from_lineage(answer, probabilities, cache=self.dtree_cache)
+        candidates = [TupleCandidate(data, tree=tree) for data, tree in trees.items()]
+        scheduler = RefinementScheduler(
+            candidates,
+            max_steps=self.dtree_max_steps if max_steps is None else max_steps,
+        )
+        outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
+        finishing_steps = 0
+        if confidence == "exact":
+            # The decision needed only bounds; exact mode still reports exact
+            # confidences for the tuples it returns (and only for those).
+            # With the default engine budget each tuple gets dtree_max_steps
+            # (the same per-tuple cap exact-mode evaluate() grants) and
+            # exhaustion raises ApproximationBudgetError; an explicit
+            # per-call max_steps instead caps the whole call (leftover after
+            # the decision, shared across tuples) and is reported, never
+            # raised.
+            finishing_budget = (
+                None if max_steps is None else max(0, max_steps - outcome.steps)
+            )
+            for candidate in outcome.selected:
+                if candidate.tree is None or candidate.exact:
+                    continue
+                if finishing_budget is None:
+                    remaining = self.dtree_max_steps
+                else:
+                    remaining = finishing_budget - finishing_steps
+                try:
+                    result = refine_to_budget(
+                        candidate.tree, epsilon=0.0, max_steps=remaining
+                    )
+                    finishing_steps += result.steps
+                except ApproximationBudgetError as error:
+                    finishing_steps += error.steps
+                    if max_steps is None:
+                        raise
+                    break  # explicit cap: report the midpoints we have
+        prob_seconds = perf_counter() - started
+
+        ordered = sorted(outcome.selected, key=lambda c: (-c.midpoint, repr(c.data)))
+        relation = self._confidence_relation(
+            answer.schema,
+            query.name,
+            ((candidate.data, candidate.midpoint) for candidate in ordered),
+        )
+        return EvaluationResult(
+            query_name=query.name,
+            plan_style="dtree",
+            relation=relation,
+            signature=None,
+            execution=execution,
+            join_order=order,
+            tuples_seconds=tuples_seconds,
+            prob_seconds=prob_seconds,
+            answer_rows=len(answer),
+            rows_processed=rows_processed,
+            scans_used=1,
+            confidence=confidence,
+            epsilon=None,
+            bounds=outcome.bounds(),
+            k=k,
+            tau=tau,
+            decided=outcome.decided,
+            refine_steps=outcome.steps + finishing_steps,
+        )
 
     # -- lazy plans -------------------------------------------------------------------
 
@@ -364,14 +630,9 @@ class SproutEngine:
         join_order: Optional[Sequence[str]],
         execution: str = "row",
     ) -> Tuple[Relation, List[str], int]:
-        order = list(join_order) if join_order else self.planner.lazy_join_order(query)
-        if execution == "batch":
-            plan = build_answer_plan_batch(self.database, query, order, self.batch_size)
-        else:
-            plan = build_answer_plan(self.database, query, order)
-        plan = project_answer_columns(plan, query)
-        relation = plan.to_relation(query.name)
-        return relation, order, plan.total_rows_processed()
+        return materialize_answer(
+            self.database, self.planner, query, join_order, execution, self.batch_size
+        )
 
     def _evaluate_lazy(
         self,
@@ -397,13 +658,10 @@ class SproutEngine:
         tuples_seconds = perf_counter() - started
 
         started = perf_counter()
-        schedule: Optional[ScanSchedule] = None
-        if conf_method == "semantics":
-            result_relation = apply_semantics(answer, signature).relation
-            scans_used = 0
-        else:
-            result_relation, schedule = apply_scan_schedule(answer, signature, presorted=True)
-            scans_used = schedule.total_scans
+        schedule: Optional[ScanSchedule]
+        result_relation, schedule, scans_used = compute_answer_confidences(
+            answer, signature, conf_method=conf_method, name=query.name
+        )
         prob_seconds = perf_counter() - started
 
         return EvaluationResult(
@@ -452,17 +710,10 @@ class SproutEngine:
         tuples_seconds = perf_counter() - started
 
         started = perf_counter()
-        schedule: Optional[ScanSchedule] = None
-        if conf_method == "semantics":
-            result_relation = apply_semantics(
-                answer.to_relation(query.name), signature, execution="batch"
-            ).relation
-            scans_used = 0
-        else:
-            result_relation, schedule = apply_scan_schedule_columns(
-                answer, signature, presorted=True, name=query.name
-            )
-            scans_used = schedule.total_scans
+        schedule: Optional[ScanSchedule]
+        result_relation, schedule, scans_used = compute_answer_confidences(
+            answer, signature, conf_method=conf_method, execution="batch", name=query.name
+        )
         prob_seconds = perf_counter() - started
 
         return EvaluationResult(
@@ -543,11 +794,11 @@ class SproutEngine:
         confidences = confidences_from_lineage(answer)
         prob_seconds = perf_counter() - started
 
-        data_attributes = [a for a in answer.schema if a.role is ColumnRole.DATA]
-        schema = Schema(list(data_attributes) + [Attribute("conf", "float")])
-        relation = Relation(query.name, schema)
-        for data, confidence in sorted(confidences.items(), key=lambda item: repr(item[0])):
-            relation.append(tuple(data) + (confidence,))
+        relation = self._confidence_relation(
+            answer.schema,
+            query.name,
+            sorted(confidences.items(), key=lambda item: repr(item[0])),
+        )
         return EvaluationResult(
             query_name=query.name,
             plan_style="lineage",
@@ -591,16 +842,20 @@ class SproutEngine:
             monte_carlo_samples=(
                 None if confidence == "exact" else self.monte_carlo_samples
             ),
+            rng=self._monte_carlo_rng(),
+            cache=self.dtree_cache,
         )
         prob_seconds = perf_counter() - started
 
-        data_attributes = [a for a in answer.schema if a.role is ColumnRole.DATA]
-        schema = Schema(list(data_attributes) + [Attribute("conf", "float")])
-        relation = Relation(query.name, schema)
-        bounds: Dict[Tuple[object, ...], Tuple[float, float]] = {}
-        for data, result in sorted(results.items(), key=lambda item: repr(item[0])):
-            relation.append(tuple(data) + (result.probability,))
-            bounds[tuple(data)] = (result.lower, result.upper)
+        ordered = sorted(results.items(), key=lambda item: repr(item[0]))
+        relation = self._confidence_relation(
+            answer.schema,
+            query.name,
+            ((data, result.probability) for data, result in ordered),
+        )
+        bounds: Dict[Tuple[object, ...], Tuple[float, float]] = {
+            tuple(data): (result.lower, result.upper) for data, result in ordered
+        }
         return EvaluationResult(
             query_name=query.name,
             plan_style="dtree",
@@ -616,9 +871,20 @@ class SproutEngine:
             confidence=confidence,
             epsilon=None if confidence == "exact" else epsilon,
             bounds=bounds,
+            refine_steps=sum(result.steps for result in results.values()),
         )
 
     # -- helpers -----------------------------------------------------------------------
+
+    @staticmethod
+    def _confidence_relation(answer_schema: Schema, name: str, items) -> Relation:
+        """A data-columns + ``conf`` relation from (data tuple, confidence) pairs."""
+        data_attributes = [a for a in answer_schema if a.role is ColumnRole.DATA]
+        schema = Schema(list(data_attributes) + [Attribute("conf", "float")])
+        relation = Relation(name, schema)
+        for data, confidence in items:
+            relation.append(tuple(data) + (confidence,))
+        return relation
 
     def _finalize(self, relation: Relation, query: ConjunctiveQuery) -> Relation:
         """Rename the surviving probability column to ``conf`` and drop variables."""

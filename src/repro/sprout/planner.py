@@ -17,7 +17,7 @@ propagation steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlanningError
 from repro.algebra.aggregate import AggregateSpec, GroupByOp
@@ -48,6 +48,7 @@ __all__ = [
     "base_table_plan_batch",
     "build_answer_plan",
     "build_answer_plan_batch",
+    "materialize_answer",
     "needed_data_attributes",
     "evaluate_deterministic",
     "eager_evaluation",
@@ -220,6 +221,31 @@ def project_answer_columns(plan, query: ConjunctiveQuery):
     if isinstance(plan, BatchOperator):
         return BatchProjectOp(plan, keep)
     return ProjectOp(plan, keep)
+
+
+def materialize_answer(
+    database: ProbabilisticDatabase,
+    planner: "JoinOrderPlanner",
+    query: ConjunctiveQuery,
+    join_order: Optional[Sequence[str]] = None,
+    execution: str = "row",
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> Tuple[Relation, List[str], int]:
+    """Materialise the answer rows of ``query`` (with V/P columns carried).
+
+    The shared front half of every lineage-consuming evaluation path — the
+    exact lineage fallback, the anytime d-tree route, and the top-k/threshold
+    scheduler all start from this relation.  Returns ``(answer, join order,
+    rows processed)``; ``execution`` selects the row or columnar pipeline.
+    """
+    order = list(join_order) if join_order else planner.lazy_join_order(query)
+    if execution == "batch":
+        plan = build_answer_plan_batch(database, query, order, batch_size)
+    else:
+        plan = build_answer_plan(database, query, order)
+    plan = project_answer_columns(plan, query)
+    relation = plan.to_relation(query.name)
+    return relation, order, plan.total_rows_processed()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,240 @@
+"""Bound-driven top-k and threshold evaluation (multi-tuple refinement).
+
+The anytime d-tree engine (:mod:`repro.prob.dtree`) brackets each answer
+tuple's confidence with monotone lower/upper bounds.  For top-k and
+τ-threshold queries the final answer is a *set*, not a number — so instead of
+refining every tuple to a uniform epsilon, the scheduler here interleaves
+refinement *across* tuples and stops the moment the answer set is provably
+decided:
+
+* **top-k** is decided when the k tuples with the largest lower bounds all
+  dominate everything else: ``min lower(selected) >= max upper(rest)``.  Until
+  then exactly two tuples gate the decision — the weakest selected tuple and
+  the strongest excluded one — and the scheduler refines whichever of the two
+  has the wider bracket (the multisimulation rule of Ré, Dalvi and Suciu,
+  ICDE 2007, transplanted onto d-tree brackets);
+* **threshold** is decided when no tuple's bracket straddles τ; until then the
+  scheduler refines the straddling tuple with the widest bracket.
+
+Tuples whose confidence is already known exactly (safe sub-plans, closed
+trees) participate with degenerate brackets and are never refined.  Because
+every d-tree expansion tightens its bracket and a tree closes after finitely
+many expansions, both loops terminate without any epsilon — the optional
+``max_steps`` budget only guards against pathological lineage, reporting
+``decided=False`` with the best partition so far instead of running away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import nlargest
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlanningError
+from repro.prob.dtree import DTree
+
+__all__ = [
+    "TupleCandidate",
+    "SchedulerOutcome",
+    "RefinementScheduler",
+]
+
+DataTuple = Tuple[object, ...]
+
+#: Expansions granted per scheduling decision.  Large enough to amortise the
+#: candidate ranking between grants, small enough that refinement never
+#: overshoots the decision by much.
+DEFAULT_CHUNK = 16
+
+
+class TupleCandidate:
+    """One answer tuple competing for the result set.
+
+    Backed either by an exact confidence (``value``) — a degenerate bracket
+    that never refines — or by a live, resumable :class:`DTree` whose current
+    root bounds are the bracket.
+    """
+
+    __slots__ = ("data", "tree", "value")
+
+    def __init__(
+        self,
+        data: DataTuple,
+        tree: Optional[DTree] = None,
+        value: Optional[float] = None,
+    ):
+        if (tree is None) == (value is None):
+            raise PlanningError(
+                "a candidate needs exactly one of a d-tree or an exact value"
+            )
+        self.data = data
+        self.tree = tree
+        self.value = value
+
+    @property
+    def lower(self) -> float:
+        return self.value if self.tree is None else self.tree.root.lower
+
+    @property
+    def upper(self) -> float:
+        return self.value if self.tree is None else self.tree.root.upper
+
+    @property
+    def gap(self) -> float:
+        return 0.0 if self.tree is None else self.tree.gap
+
+    @property
+    def exact(self) -> bool:
+        return self.tree is None or self.tree.is_exact or self.tree.gap <= 0.0
+
+    @property
+    def midpoint(self) -> float:
+        return self.value if self.tree is None else 0.5 * (self.lower + self.upper)
+
+    def refine(self, steps: int) -> int:
+        """Tighten the bracket by up to ``steps`` expansions; count performed."""
+        if self.tree is None:
+            return 0
+        return self.tree.refine(steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TupleCandidate({self.data!r}, [{self.lower:.4f}, {self.upper:.4f}])"
+
+
+@dataclass
+class SchedulerOutcome:
+    """The decided (or budget-capped) answer set with its evidence."""
+
+    #: Tuples in the answer set, most probable first (by current midpoint).
+    selected: List[TupleCandidate]
+    #: Every candidate, selected or not, with its final bracket.
+    candidates: List[TupleCandidate]
+    #: True when the answer set is provably correct; False only when the
+    #: ``max_steps`` budget ran out first.
+    decided: bool
+    #: Total d-tree expansions spent by the scheduler.
+    steps: int = 0
+
+    def bounds(self) -> Dict[DataTuple, Tuple[float, float]]:
+        return {c.data: (c.lower, c.upper) for c in self.candidates}
+
+
+class RefinementScheduler:
+    """Interleave d-tree refinement across candidate tuples.
+
+    ``chunk`` is the number of expansions granted per scheduling decision and
+    ``max_steps`` the optional total budget across all tuples (``None`` —
+    refine until decided, which always terminates because every tree closes
+    after finitely many expansions).
+    """
+
+    def __init__(
+        self,
+        candidates: List[TupleCandidate],
+        chunk: int = DEFAULT_CHUNK,
+        max_steps: Optional[int] = None,
+    ):
+        if chunk < 1:
+            raise PlanningError(f"chunk must be positive, got {chunk}")
+        if max_steps is not None and max_steps < 0:
+            raise PlanningError(f"max_steps must be non-negative, got {max_steps}")
+        self.candidates = list(candidates)
+        self.chunk = chunk
+        self.max_steps = max_steps
+        self.steps = 0
+        # Rank tiebreak on the data tuple's repr, precomputed once as a
+        # numeric index: candidate *order* differs between the row and batch
+        # pipelines, so a value-based key is the only way exact ties at the
+        # k-boundary resolve to the same set under every backend.  Smaller
+        # index = earlier repr = preferred on ties.
+        by_repr = sorted(self.candidates, key=lambda c: repr(c.data))
+        self._rank = {id(c): index for index, c in enumerate(by_repr)}
+
+    # -- shared plumbing ----------------------------------------------------
+
+    def _grant(self, candidate: TupleCandidate) -> None:
+        # Scale the grant with the population so the per-grant ranking pass
+        # (O(n log k)) stays amortised over the refinement work on large
+        # candidate sets; small sets keep the fine-grained chunk.
+        budget = max(self.chunk, len(self.candidates) // 64)
+        if self.max_steps is not None:
+            budget = min(budget, self.max_steps - self.steps)
+        self.steps += candidate.refine(budget)
+
+    def _exhausted(self) -> bool:
+        return self.max_steps is not None and self.steps >= self.max_steps
+
+    def _outcome(self, selected: List[TupleCandidate], decided: bool) -> SchedulerOutcome:
+        ordered = sorted(
+            selected, key=lambda c: (-c.midpoint, repr(c.data))
+        )
+        return SchedulerOutcome(
+            selected=ordered,
+            candidates=list(self.candidates),
+            decided=decided,
+            steps=self.steps,
+        )
+
+    # -- top-k --------------------------------------------------------------
+
+    def run_topk(self, k: int) -> SchedulerOutcome:
+        """Decide the k most probable tuples, refining only what gates the cut.
+
+        Not decided means there is a *crossing pair*: the weakest tuple inside
+        the provisional selection (smallest lower bound) and the strongest
+        outside it (largest upper bound) overlap.  At least one of the two has
+        a refinable bracket — two exact tuples in crossing position would
+        contradict the selection order — and the wider one gets the grant.
+        """
+        if k < 1:
+            raise PlanningError(f"k must be positive, got {k}")
+        if k >= len(self.candidates):
+            return self._outcome(list(self.candidates), True)
+        rank = self._rank
+
+        def key(c: TupleCandidate) -> Tuple[float, float, int]:
+            # nlargest prefers larger keys; negating the rank index makes
+            # ties fall to the candidate with the earlier repr.
+            return (c.lower, c.upper, -rank[id(c)])
+
+        while True:
+            selected = nlargest(k, self.candidates, key=key)
+            chosen = {id(c) for c in selected}
+            rest = [c for c in self.candidates if id(c) not in chosen]
+            weakest = min(selected, key=lambda c: c.lower)
+            strongest = max(rest, key=lambda c: (c.upper, -rank[id(c)]))
+            if weakest.lower >= strongest.upper:
+                return self._outcome(selected, True)
+            if self._exhausted():
+                return self._outcome(selected, False)
+            # Refine the wider bracket of the crossing pair.
+            target = max((weakest, strongest), key=lambda c: c.gap)
+            if target.gap <= 0.0:
+                # Unreachable: two exact tuples in crossing position would
+                # contradict the lower-bound ranking.  Bail out rather than spin.
+                return self._outcome(selected, False)
+            self._grant(target)
+
+    # -- threshold ----------------------------------------------------------
+
+    def run_threshold(self, tau: float) -> SchedulerOutcome:
+        """Partition candidates into confidence ``>= tau`` and ``< tau``.
+
+        A candidate is decided-in once its lower bound reaches τ and
+        decided-out once its upper bound drops below τ; the scheduler refines
+        the straddling candidate with the widest bracket.  An exact candidate
+        sitting precisely on τ counts as *in* (the answer is ``conf >= τ``).
+        """
+        if not 0.0 <= tau <= 1.0:
+            raise PlanningError(f"tau must be within [0, 1], got {tau}")
+        while True:
+            # A straddling bracket has lower < tau <= upper, hence a positive
+            # gap: exact candidates are always on one side of the cut.
+            straddling = [c for c in self.candidates if c.lower < tau <= c.upper]
+            if not straddling:
+                selected = [c for c in self.candidates if c.lower >= tau]
+                return self._outcome(selected, True)
+            if self._exhausted():
+                selected = [c for c in self.candidates if c.lower >= tau]
+                return self._outcome(selected, False)
+            self._grant(max(straddling, key=lambda c: c.gap))

@@ -1,0 +1,214 @@
+"""Cross-plan differential matrix: every engine configuration, one truth.
+
+One parametrized harness evaluates a small query corpus (safe and unsafe,
+Boolean and projected, with and without selections) across the full
+configuration matrix — plan style × row/batch execution × exact/approx
+confidence × scan-based/semantics operator — and asserts that every
+configuration agrees with brute-force possible-world enumeration (exactly for
+exact configurations, within the epsilon budget for approximate ones) and
+therefore with every other configuration.
+"""
+
+import pytest
+
+from repro import Atom, ConjunctiveQuery, ProbabilisticDatabase, SproutEngine
+from repro.algebra import Comparison, conjunction_of
+from repro.prob import confidences_by_enumeration
+from repro.sprout import evaluate_deterministic
+from repro.storage import Relation, Schema
+
+TOLERANCE = 1e-9
+EPSILON = 0.01
+
+
+# ---------------------------------------------------------------------------
+# corpus: (database builder, query) pairs small enough to enumerate
+# ---------------------------------------------------------------------------
+
+
+def _safe_db():
+    db = ProbabilisticDatabase("matrix-safe")
+    cust = Relation(
+        "Cust", Schema.of("ckey:int", "cname:str"), [(1, "Joe"), (2, "Dan"), (3, "Li")]
+    )
+    ord_ = Relation(
+        "Ord",
+        Schema.of("okey:int", "ckey:int", "odate:str"),
+        [(1, 1, "1995"), (2, 1, "1996"), (3, 2, "1994"), (4, 3, "1995"), (5, 3, "1993")],
+    )
+    db.add_table(cust, probabilities=[0.6, 0.35, 0.8], primary_key=["ckey"])
+    db.add_table(ord_, probabilities=[0.5, 0.25, 0.7, 0.45, 0.9], primary_key=["okey"])
+    return db
+
+
+def _safe_proj_query():
+    return ConjunctiveQuery(
+        "safe_proj",
+        [Atom("Cust", ["ckey", "cname"]), Atom("Ord", ["okey", "ckey", "odate"])],
+        projection=["odate"],
+    )
+
+
+def _safe_selection_query():
+    return ConjunctiveQuery(
+        "safe_sel",
+        [Atom("Cust", ["ckey", "cname"]), Atom("Ord", ["okey", "ckey", "odate"])],
+        projection=["cname"],
+        selections=conjunction_of([Comparison("odate", "=", "1995")]),
+    )
+
+
+def _safe_bool_query():
+    return ConjunctiveQuery(
+        "safe_bool",
+        [Atom("Cust", ["ckey", "cname"]), Atom("Ord", ["okey", "ckey", "odate"])],
+        projection=[],
+    )
+
+
+def _unsafe_db():
+    db = ProbabilisticDatabase("matrix-unsafe")
+    db.add_table(
+        Relation("R", Schema.of("a:int", "x:int"), [(0, 0), (0, 1), (1, 1), (2, 0)]),
+        probabilities=[0.4, 0.7, 0.55, 0.3],
+    )
+    db.add_table(
+        Relation("S", Schema.of("x:int", "y:int"), [(0, 0), (0, 1), (1, 1), (1, 0)]),
+        probabilities=[0.5, 0.2, 0.8, 0.35],
+    )
+    db.add_table(
+        Relation("T", Schema.of("y:int"), [(0,), (1,)]), probabilities=[0.65, 0.45]
+    )
+    return db
+
+
+def _unsafe_bool_query():
+    return ConjunctiveQuery(
+        "unsafe_bool",
+        [Atom("R", ["a", "x"]), Atom("S", ["x", "y"]), Atom("T", ["y"])],
+        projection=[],
+    )
+
+
+def _unsafe_proj_query():
+    return ConjunctiveQuery(
+        "unsafe_proj",
+        [Atom("R", ["a", "x"]), Atom("S", ["x", "y"]), Atom("T", ["y"])],
+        projection=["a"],
+    )
+
+
+def _single_table_db():
+    db = ProbabilisticDatabase("matrix-single")
+    db.add_table(
+        Relation(
+            "Obs",
+            Schema.of("sensor:str", "value:int"),
+            [("s1", 1), ("s1", 2), ("s2", 1), ("s2", 3), ("s3", 2)],
+        ),
+        probabilities=[0.3, 0.6, 0.55, 0.2, 0.85],
+    )
+    return db
+
+
+def _single_table_query():
+    # Projecting away `value` makes each sensor's confidence a disjunction.
+    return ConjunctiveQuery(
+        "single", [Atom("Obs", ["sensor", "value"])], projection=["sensor"]
+    )
+
+
+CORPUS = {
+    "safe_proj": (_safe_db, _safe_proj_query),
+    "safe_sel": (_safe_db, _safe_selection_query),
+    "safe_bool": (_safe_db, _safe_bool_query),
+    "unsafe_bool": (_unsafe_db, _unsafe_bool_query),
+    "unsafe_proj": (_unsafe_db, _unsafe_proj_query),
+    "single": (_single_table_db, _single_table_query),
+}
+
+#: (plan, execution, confidence, conf_method) — the exact axis runs every plan
+#: style under both backends; the approx axis collapses to the d-tree route
+#: (any plan × approx takes it), so lazy/dtree cover it; the literal GRP
+#: semantics is exercised on the lazy plan under both backends.
+CONFIGURATIONS = [
+    *(
+        (plan, execution, "exact", "scans")
+        for plan in ("lazy", "eager", "hybrid", "lineage", "dtree")
+        for execution in ("row", "batch")
+    ),
+    *(
+        (plan, execution, "approx", "scans")
+        for plan in ("lazy", "dtree")
+        for execution in ("row", "batch")
+    ),
+    ("lazy", "row", "exact", "semantics"),
+    ("lazy", "batch", "exact", "semantics"),
+]
+
+_truth_cache = {}
+
+
+def _truth(case):
+    if case not in _truth_cache:
+        build_db, make_query = CORPUS[case]
+        db = build_db()
+        _truth_cache[case] = confidences_by_enumeration(
+            db, lambda instance: evaluate_deterministic(make_query(), instance)
+        )
+    return _truth_cache[case]
+
+
+@pytest.mark.parametrize("case", sorted(CORPUS))
+@pytest.mark.parametrize(
+    "plan,execution,confidence,conf_method",
+    CONFIGURATIONS,
+    ids=["-".join(c) for c in CONFIGURATIONS],
+)
+def test_configuration_agrees_with_enumeration(case, plan, execution, confidence, conf_method):
+    build_db, make_query = CORPUS[case]
+    engine = SproutEngine(build_db(), epsilon=EPSILON)
+    result = engine.evaluate(
+        make_query(),
+        plan=plan,
+        execution=execution,
+        confidence=confidence,
+        conf_method=conf_method,
+    )
+    truth = _truth(case)
+    confidences = result.confidences()
+    assert set(confidences) == set(truth), (
+        f"{case}: answer tuples differ under {plan}/{execution}/{confidence}"
+    )
+    for data, expected in truth.items():
+        actual = confidences[data]
+        if confidence == "exact":
+            assert actual == pytest.approx(expected, abs=TOLERANCE), (
+                f"{case}: confidence of {data} differs under "
+                f"{plan}/{execution}/{conf_method}"
+            )
+        else:
+            assert abs(actual - expected) <= EPSILON + TOLERANCE
+            lower, upper = result.bounds[data]
+            assert lower - TOLERANCE <= expected <= upper + TOLERANCE
+
+
+@pytest.mark.parametrize("case", sorted(CORPUS))
+def test_topk_and_threshold_agree_across_backends(case):
+    """The bounded APIs return identical answer sets under row and batch."""
+    build_db, make_query = CORPUS[case]
+    truth = _truth(case)
+    engine = SproutEngine(build_db())
+    for confidence in ("exact", "approx"):
+        selections = []
+        for execution in ("row", "batch"):
+            top = engine.evaluate_topk(
+                make_query(), k=2, execution=execution, confidence=confidence
+            )
+            assert top.decided
+            selections.append(frozenset(top.confidences()))
+        assert selections[0] == selections[1]
+    median = sorted(truth.values())[len(truth) // 2] if truth else 0.5
+    row = engine.evaluate_threshold(make_query(), tau=median)
+    batch = engine.evaluate_threshold(make_query(), tau=median, execution="batch")
+    assert set(row.confidences()) == set(batch.confidences())

@@ -15,6 +15,7 @@ from repro.errors import ApproximationBudgetError, ProbabilityError
 from repro.prob.dtree import (
     ApproxResult,
     DTree,
+    DTreeCache,
     dtree_probability,
     karp_luby_probability,
 )
@@ -199,6 +200,46 @@ class TestKarpLuby:
     def test_invalid_samples(self):
         with pytest.raises(ProbabilityError):
             karp_luby_probability(DNF([{1}]), {1: 0.5}, samples=0)
+
+
+class TestDTreeCache:
+    def test_hit_returns_the_same_tree(self):
+        cache = DTreeCache()
+        dnf, probs = bipartite_lineage(4, 4, 6, seed=11)
+        first = cache.get(dnf, probs)
+        second = cache.get(dnf, probs)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_refinement_is_reused(self):
+        cache = DTreeCache()
+        dnf, probs = bipartite_lineage(8, 8, 20, seed=11)
+        exact = dtree_probability(dnf, probs, cache=cache)
+        again = dtree_probability(dnf, probs, cache=cache)
+        assert again.probability == exact.probability
+        assert exact.steps > 0 and again.steps == 0  # steps count per call
+
+    def test_probability_space_is_guarded(self):
+        cache = DTreeCache()
+        cache.get(DNF([{1, 2}, {2, 3}]), {1: 0.5, 2: 0.5, 3: 0.5})
+        with pytest.raises(ProbabilityError):
+            # Same variables, different marginals — even under a clause set
+            # the cache has never seen (the shared memo would be stale).
+            cache.get(DNF([{1, 3}]), {1: 0.9, 3: 0.5})
+
+    def test_lru_eviction_bounds_the_cache(self):
+        cache = DTreeCache(max_entries=2)
+        probs = {i: 0.5 for i in range(9)}
+        for start in (0, 3, 6):
+            cache.get(DNF([{start, start + 1}, {start + 1, start + 2}]), probs)
+        assert len(cache) == 2
+
+    def test_clear_resets_everything(self):
+        cache = DTreeCache()
+        cache.get(DNF([{1, 2}]), {1: 0.5, 2: 0.5})
+        cache.clear()
+        assert len(cache) == 0 and cache.misses == 0
+        cache.get(DNF([{1, 2}]), {1: 0.9, 2: 0.5})  # new space is fine now
 
 
 class TestApproxResult:

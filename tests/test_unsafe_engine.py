@@ -179,6 +179,57 @@ class TestApproxMode:
         )
 
 
+@pytest.fixture
+def dense_unsafe_db():
+    """A 5×5 bipartite instance whose Boolean lineage needs many Shannon steps.
+
+    With ``dtree_max_steps=1`` its bracket stays wide, so the engine's
+    Karp–Luby fallback supplies the point estimate — exactly the code path
+    the ``seed`` parameter exists to make reproducible.
+    """
+    import random
+
+    rng = random.Random(0)
+    r_probs = [rng.uniform(0.2, 0.8) for _ in range(5)]
+    t_probs = [rng.uniform(0.2, 0.8) for _ in range(5)]
+    s_rows = [(a, b) for a in range(5) for b in range(5) if rng.random() < 0.7]
+    s_probs = [rng.uniform(0.2, 0.8) for _ in s_rows]
+    return build_database(r_probs, s_rows, s_probs, t_probs)
+
+
+class TestSeedThreading:
+    """The engine seed makes the Karp–Luby fallback reproducible."""
+
+    def _engine(self, db, seed):
+        return SproutEngine(
+            db,
+            confidence="approx",
+            epsilon=1e-9,
+            dtree_max_steps=1,
+            monte_carlo_samples=400,
+            seed=seed,
+        )
+
+    def test_same_seed_reproduces_confidences(self, dense_unsafe_db):
+        first = self._engine(dense_unsafe_db, seed=42).evaluate(unsafe_query())
+        second = self._engine(dense_unsafe_db, seed=42).evaluate(unsafe_query())
+        assert first.confidences() == second.confidences()
+
+    def test_fallback_engages_and_seeds_differ(self, dense_unsafe_db):
+        results = {
+            seed: self._engine(dense_unsafe_db, seed=seed).evaluate(unsafe_query())
+            for seed in (1, 2, 3)
+        }
+        estimates = {r.boolean_confidence() for r in results.values()}
+        # The bracket is wide (compilation was capped after one step) and the
+        # Monte Carlo estimates genuinely depend on the seed.
+        assert len(estimates) > 1
+        for result in results.values():
+            lower, upper = result.bounds[()]
+            assert upper - lower > 0.01
+            assert lower - 1e-12 <= result.boolean_confidence() <= upper + 1e-12
+
+
 class TestValidation:
     def test_unknown_confidence_mode(self, unsafe_db):
         engine = SproutEngine(unsafe_db)
