@@ -19,12 +19,25 @@ Quickstart
 >>> query = ConjunctiveQuery("Q", [Atom("Cust", ["ckey", "cname"])], projection=["cname"])
 >>> sorted(engine.evaluate(query).confidences().items())
 [(('Dan',), 0.2), (('Joe',), 0.1)]
+
+Package layout (bottom up): :mod:`repro.storage` (schemas with V/P column
+roles, relations, heap files), :mod:`repro.algebra` (row and columnar
+physical operators), :mod:`repro.query` (conjunctive queries, hierarchies,
+FDs, signatures), :mod:`repro.prob` (probabilistic model, lineage, d-trees,
+possible worlds), :mod:`repro.sprout` (the engine: planners, confidence
+operator, top-k/threshold, the parallel executor), :mod:`repro.safeplans`
+(the MystiQ-style baseline), and :mod:`repro.tpch` (the experimental
+workload).  The ``docs/`` tree documents the architecture
+(``docs/architecture.md``), the confidence-computation routing and its
+epsilon/bounds semantics (``docs/confidence.md``), multi-core evaluation
+(``docs/parallelism.md``), and the benchmark suite (``docs/benchmarks.md``).
 """
 
 from repro.errors import (
     ApproximationBudgetError,
     NonHierarchicalQueryError,
     NumericalError,
+    ParallelExecutionError,
     PlanningError,
     ProbabilityError,
     QueryError,
@@ -64,6 +77,7 @@ __all__ = [
     "MystiqEngine",
     "NonHierarchicalQueryError",
     "NumericalError",
+    "ParallelExecutionError",
     "PlanningError",
     "ProbabilisticDatabase",
     "ProbabilisticTable",

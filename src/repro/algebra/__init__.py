@@ -1,4 +1,21 @@
-"""Relational algebra substrate: iterator-model operators and plan utilities."""
+"""Relational algebra: row (iterator) and columnar (batch) physical operators.
+
+Two complete physical backends with bit-identical semantics:
+
+* :mod:`repro.algebra.operators`, :mod:`repro.algebra.joins`,
+  :mod:`repro.algebra.aggregate`, :mod:`repro.algebra.sort` — the
+  iterator-model operators (scan, select, project, hash join, group-by with
+  the ``prob`` disjunction aggregate, sort): one Python tuple at a time.
+* :mod:`repro.algebra.columnar` — the batch backend: operators exchange
+  :class:`repro.algebra.columnar.ColumnBatch` chunks (one Python list per
+  column) and evaluate selections/joins/aggregations column-wise.
+* :mod:`repro.algebra.expressions` — selection predicates shared by both.
+* :mod:`repro.algebra.stats` — table statistics and selectivity estimation
+  for the lazy planner's greedy join ordering.
+
+The engine picks the backend per call via ``execution="row"|"batch"``; see
+``docs/architecture.md`` for how plans are assembled from these operators.
+"""
 
 from repro.algebra.aggregate import (
     AGGREGATE_FUNCTIONS,

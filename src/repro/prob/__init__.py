@@ -1,4 +1,27 @@
-"""Probabilistic data model: variables, formulas, tables, worlds, lineage."""
+"""Probabilistic data model: variables, formulas, tables, worlds, lineage.
+
+Everything about *probability*, independent of query processing:
+
+* :mod:`repro.prob.variables` / :mod:`repro.prob.ptable` /
+  :mod:`repro.prob.pdb` — Boolean variables with marginals, probabilistic
+  tables, and the tuple-independent :class:`ProbabilisticDatabase`.
+* :mod:`repro.prob.formulas` — DNF lineage, one-occurrence-form formulas,
+  and exact weighted model counting by memoised Shannon expansion.
+* :mod:`repro.prob.lineage` — extraction of per-tuple DNF lineage from
+  answer relations that carry ``V``/``P`` columns.
+* :mod:`repro.prob.dtree` — the anytime decomposition-tree engine: exact
+  when compilation closes, guaranteed lower/upper bounds when stopped
+  early, plus the Karp–Luby Monte Carlo fallback.  Its deterministic,
+  resumable refinement is what the parallel executor
+  (:mod:`repro.sprout.parallel`) distributes across worker processes.
+* :mod:`repro.prob.worlds` — brute-force possible-worlds enumeration, the
+  ground truth every other evaluator is differentially tested against.
+* :mod:`repro.prob.synthetic` — synthetic lineage generators for stress
+  tests and benchmarks.
+
+``docs/confidence.md`` explains how the engine routes between these
+evaluators and what the epsilon/bounds semantics guarantee.
+"""
 
 from repro.prob.dtree import (
     ApproxResult,

@@ -60,6 +60,9 @@ __all__ = [
     "MonteCarloResult",
     "DTree",
     "DTreeCache",
+    "CanonicalClauses",
+    "canonical_clauses",
+    "dnf_from_canonical",
     "dtree_probability",
     "karp_luby_probability",
     "refine_to_budget",
@@ -67,9 +70,33 @@ __all__ = [
 
 Clause = FrozenSet[int]
 
+#: The picklable, order-canonical form of a DNF's clause set: clauses as
+#: sorted tuples of variable ids, sorted among each other.  This is the wire
+#: format of the parallel executor's work units (:mod:`repro.sprout.parallel`)
+#: — ``frozenset`` iteration order is salted per process, so anything derived
+#: from it (seeds, partition assignment) must go through this form instead.
+CanonicalClauses = Tuple[Tuple[int, ...], ...]
+
 #: Default cap on the number of leaf expansions before an anytime run gives up
 #: (raising :class:`ApproximationBudgetError`).  ``None`` disables the cap.
 DEFAULT_MAX_STEPS: Optional[int] = 200_000
+
+
+def canonical_clauses(dnf: DNF) -> CanonicalClauses:
+    """The order-canonical, picklable form of ``dnf``'s clause set.
+
+    Two DNFs over the same clauses map to the same value in every process,
+    which makes it usable as a cross-process cache key and as seed material
+    for per-tuple Monte Carlo derivation (see
+    :func:`repro.sprout.parallel.derive_task_seed`).
+    """
+    return tuple(sorted(tuple(sorted(clause)) for clause in dnf.clauses))
+
+
+def dnf_from_canonical(clauses: CanonicalClauses) -> DNF:
+    """Rebuild a :class:`DNF` from its canonical clause form (the inverse of
+    :func:`canonical_clauses` up to clause order, which a DNF does not keep)."""
+    return DNF(clauses)
 
 #: The frontier's influence weights are recomputed from scratch on a geometric
 #: schedule (next rebuild at ``steps * _REFRESH_FACTOR + _REFRESH_BASE``) so
@@ -284,10 +311,15 @@ class DTree:
     The tree is *resumable*: :meth:`refine` performs a bounded number of
     expansions and may be called again later to tighten the bounds further —
     the multi-tuple top-k/threshold scheduler relies on this to interleave
-    refinement across candidate tuples.  ``memo`` may be a dictionary shared
-    between several trees over the same variable space (see
-    :class:`DTreeCache`) so that closed subformulas compiled for one tuple's
-    lineage are reused verbatim by every other tuple that contains them.
+    refinement across candidate tuples.  Expansion order is deterministic,
+    which :meth:`refine_to_target` turns into a cross-process protocol: the
+    bounds after ``T`` cumulative expansions are a pure function of the
+    lineage, so the parallel executor can hand the same tuple to different
+    workers across rounds and still merge identical brackets.  ``memo`` may
+    be a dictionary shared between several trees over the same variable
+    space (see :class:`DTreeCache`) so that closed subformulas compiled for
+    one tuple's lineage are reused verbatim by every other tuple that
+    contains them.
     """
 
     def __init__(
@@ -485,6 +517,20 @@ class DTree:
                 break
             performed += 1
         return performed
+
+    def refine_to_target(self, target_steps: int) -> int:
+        """Refine until the tree's *cumulative* step count reaches ``target_steps``.
+
+        The unit of work of the round-based parallel top-k/threshold
+        scheduler: because leaf expansion order is deterministic, a tree
+        refined to a given cumulative step count has the same bounds no
+        matter which process performed which portion of the expansions — a
+        worker holding a warm tree pays only the difference, a worker
+        rebuilding from scratch pays the full count, and both report
+        identical brackets.  A tree already at or past the target performs
+        nothing.  Returns the number of expansions performed by this call.
+        """
+        return self.refine(max(0, target_steps - self.steps))
 
     def result(self) -> ApproxResult:
         """The current bracket packaged as an :class:`ApproxResult`."""

@@ -33,6 +33,7 @@ __all__ = [
     "probabilities_from_answer",
     "confidences_from_lineage",
     "approximate_confidences_from_lineage",
+    "dtrees_from_dnfs",
     "dtrees_from_lineage",
 ]
 
@@ -170,26 +171,38 @@ def approximate_confidences_from_lineage(
     return results
 
 
-def dtrees_from_lineage(
-    answer: Relation,
-    probabilities: Optional[Mapping[int, float]] = None,
+def dtrees_from_dnfs(
+    lineage: Mapping[DataTuple, DNF],
+    probabilities: Mapping[int, float],
     *,
     cache: Optional[DTreeCache] = None,
 ) -> Dict[DataTuple, DTree]:
-    """One (resumable) decomposition tree per distinct data tuple in ``answer``.
+    """One (resumable) decomposition tree per entry of an extracted lineage map.
 
-    The entry point of the top-k/threshold scheduler: it needs live
+    The entry point of the serial top-k/threshold scheduler: it needs live
     :class:`repro.prob.dtree.DTree` handles it can refine selectively, rather
     than results refined to a uniform budget.  With ``cache`` set, tuples seen
-    in earlier evaluations come back with their refinement intact.
+    in earlier evaluations come back with their refinement intact.  (The
+    parallel executor does *not* go through here — it ships the DNFs
+    themselves to its workers as picklable work units.)
     """
-    if probabilities is None:
-        probabilities = probabilities_from_answer(answer)
     return {
         data: (
             cache.get(dnf, probabilities)
             if cache is not None
             else DTree(dnf, probabilities)
         )
-        for data, dnf in lineage_by_tuple(answer).items()
+        for data, dnf in lineage.items()
     }
+
+
+def dtrees_from_lineage(
+    answer: Relation,
+    probabilities: Optional[Mapping[int, float]] = None,
+    *,
+    cache: Optional[DTreeCache] = None,
+) -> Dict[DataTuple, DTree]:
+    """:func:`dtrees_from_dnfs` over the lineage extracted from ``answer``."""
+    if probabilities is None:
+        probabilities = probabilities_from_answer(answer)
+    return dtrees_from_dnfs(lineage_by_tuple(answer), probabilities, cache=cache)

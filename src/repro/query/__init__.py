@@ -1,4 +1,23 @@
-"""Query model: conjunctive queries, hierarchy, signatures, FDs, rewritings."""
+"""Query model: conjunctive queries, hierarchy, signatures, FDs, rewritings.
+
+The static-analysis layer of the reproduction (Sections III–IV of the
+paper).  Submodules:
+
+* :mod:`repro.query.conjunctive` — the query class: conjunctive queries
+  without self-joins (:class:`Atom`, :class:`ConjunctiveQuery`), plus a
+  textual :mod:`repro.query.parser`.
+* :mod:`repro.query.hierarchy` — the hierarchical-query test and the
+  hierarchy tree that safe/eager plans are shaped by.
+* :mod:`repro.query.signature` — query signatures (``Cust(Ord Item*)*``
+  -style expressions) that drive the confidence operator, and the 1scan
+  property that decides how many sequential scans it needs.
+* :mod:`repro.query.fd` / :mod:`repro.query.rewrite` — functional
+  dependencies, the chase, and the FD-reduct rewriting that makes more
+  queries tractable (Section IV); :func:`repro.query.rewrite.is_tractable`
+  is the router between the exact operator paths and the d-tree engine.
+
+See ``docs/architecture.md`` for how this layer feeds the planners.
+"""
 
 from repro.query.conjunctive import Atom, ConjunctiveQuery
 from repro.query.fd import chase_is_hierarchical_possible, closure, fd_reduct, fds_from_catalog

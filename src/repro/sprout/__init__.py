@@ -1,4 +1,29 @@
-"""SPROUT core: the confidence operator, scan scheduling, planners, engine."""
+"""SPROUT core: confidence operator, scan scheduling, planners, engine.
+
+The system layer that turns a conjunctive query into an answer relation
+with confidences:
+
+* :mod:`repro.sprout.engine` — :class:`SproutEngine`, the public entry
+  point: plan styles (lazy/eager/hybrid/lineage/dtree), row vs. batch
+  execution, exact vs. anytime-approximate confidence, top-k/threshold
+  APIs, and the ``workers=N`` parallelism knob.
+* :mod:`repro.sprout.planner` — join ordering, answer-plan construction,
+  and the eager/hybrid evaluation that interleaves joins with aggregation.
+* :mod:`repro.sprout.conf_operator` — the probability-computation
+  operator's literal Fig. 5 semantics (aggregation/propagation sequences).
+* :mod:`repro.sprout.scans` / :mod:`repro.sprout.onescan` — the scan-based
+  secondary-storage implementation (Section V.C): pre-aggregation
+  scheduling and the single-pass operator for 1scan signatures, in row and
+  columnar variants.
+* :mod:`repro.sprout.topk` — bound-driven top-k/threshold refinement
+  scheduling over per-tuple d-tree brackets (serial, in-process).
+* :mod:`repro.sprout.parallel` — the parallel confidence executor:
+  picklable per-tuple work units, serial/multiprocessing backends, and the
+  round-based parallel top-k/threshold scheduler, with results
+  bit-identical for every worker count.
+
+``docs/architecture.md`` walks the full pipeline end to end.
+"""
 
 from repro.sprout.conf_operator import (
     ConfOperatorResult,
@@ -20,6 +45,7 @@ from repro.sprout.onescan import (
     OneScanState,
     column_map_for,
     columnar_bag_probability,
+    columnar_lineage,
     columnar_scan_confidences,
     group_probability,
     one_scan_operator,
@@ -39,6 +65,18 @@ from repro.sprout.planner import (
     materialize_answer,
     needed_data_attributes,
 )
+from repro.sprout.parallel import (
+    ConfidenceExecutor,
+    ConfidenceTask,
+    ParallelCandidate,
+    ParallelOutcome,
+    ParallelRefinementScheduler,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskOutcome,
+    compute_confidences,
+    derive_task_seed,
+)
 from repro.sprout.topk import RefinementScheduler, SchedulerOutcome, TupleCandidate
 from repro.sprout.scans import (
     ScanSchedule,
@@ -55,16 +93,26 @@ __all__ = [
     "ColumnMap",
     "ConfOperatorResult",
     "ConfStep",
+    "ConfidenceExecutor",
+    "ConfidenceTask",
     "EvaluationResult",
     "JoinOrderPlanner",
     "OneScanState",
     "PLAN_STYLES",
+    "ParallelCandidate",
+    "ParallelOutcome",
+    "ParallelRefinementScheduler",
+    "ProcessExecutor",
     "RefinementScheduler",
     "ScanSchedule",
     "ScanStep",
     "SchedulerOutcome",
+    "SerialExecutor",
     "SproutEngine",
+    "TaskOutcome",
     "TupleCandidate",
+    "compute_confidences",
+    "derive_task_seed",
     "apply_scan_schedule",
     "apply_scan_schedule_columns",
     "apply_semantics",
@@ -75,6 +123,7 @@ __all__ = [
     "build_answer_plan_batch",
     "column_map_for",
     "columnar_bag_probability",
+    "columnar_lineage",
     "columnar_scan_confidences",
     "one_scan_operator_columns",
     "eager_evaluation",

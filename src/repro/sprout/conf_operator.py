@@ -250,12 +250,21 @@ def compute_answer_confidences(
 ):
     """Confidence computation on a materialised (sorted) answer.
 
-    The single dispatch point between the two confidence methods and the two
-    physical backends, shared by the engine's lazy paths and by the exact
+    The single dispatch point between the two confidence methods
+    (``conf_method="scans"`` — the scan-based operator of Section V.C — or
+    ``"semantics"``, the literal Fig. 5 GRP translation) and the two physical
+    backends, shared by the engine's lazy operator paths and by the exact
     short-circuit of the top-k/threshold API.  ``answer`` is a
     :class:`repro.storage.relation.Relation` under ``execution="row"`` and a
     :class:`repro.algebra.columnar.ColumnBatch` under ``execution="batch"``.
     Returns ``(relation, scan schedule or None, scans used)``.
+
+    This operator path serves *tractable* queries only and is a small number
+    of sequential scans, so it stays in-process: the d-tree routes (unsafe
+    queries, ``confidence="approx"``, top-k/threshold scheduling) are where
+    per-tuple confidence work dominates, and they are what
+    ``SproutEngine(workers=N)`` spreads across cores via
+    :mod:`repro.sprout.parallel`.
     """
     from repro.sprout.scans import apply_scan_schedule, apply_scan_schedule_columns
 

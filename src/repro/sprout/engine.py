@@ -44,11 +44,18 @@ Orthogonally to both, the *execution mode* selects the physical backend:
     ~4k-row column chunks, selections/joins/aggregations run column-wise, and
     the confidence operator scans a single ColumnBatch.  Produces bit-identical
     answers; severalfold faster on TPC-H-sized inputs.
+
+Finally, ``workers`` (engine-wide or per call) spreads per-tuple d-tree and
+Monte Carlo confidence work across worker processes via the parallel
+confidence executor (:mod:`repro.sprout.parallel`).  ``workers=0`` — the
+default, overridable with the ``REPRO_WORKERS`` environment variable — keeps
+everything in-process; any worker count produces bit-identical results on a
+fresh engine.
 """
 
 from __future__ import annotations
 
-import random
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -61,10 +68,11 @@ from repro.errors import (
 )
 from repro.algebra.columnar import DEFAULT_BATCH_ROWS, sort_batch
 from repro.prob.dtree import DEFAULT_MAX_STEPS, DTreeCache, refine_to_budget
+from repro.prob.formulas import DNF
 from repro.prob.lineage import (
-    approximate_confidences_from_lineage,
     confidences_from_lineage,
-    dtrees_from_lineage,
+    dtrees_from_dnfs,
+    lineage_by_tuple,
     probabilities_from_answer,
 )
 from repro.prob.pdb import ProbabilisticDatabase
@@ -78,7 +86,13 @@ from repro.query.rewrite import (
 )
 from repro.query.signature import Signature, num_scans
 from repro.sprout.conf_operator import compute_answer_confidences
-from repro.sprout.onescan import sort_column_order
+from repro.sprout.onescan import columnar_lineage, sort_column_order
+from repro.sprout.parallel import (
+    ConfidenceExecutor,
+    ParallelRefinementScheduler,
+    compute_confidences,
+    finish_exact,
+)
 from repro.sprout.planner import (
     JoinOrderPlanner,
     _aggregate_pair,
@@ -110,7 +124,37 @@ CONFIDENCE_MODES = ("exact", "approx")
 
 @dataclass
 class EvaluationResult:
-    """Answer of a query: distinct data tuples, confidences, and metrics."""
+    """Answer of a query: distinct data tuples, confidences, and metrics.
+
+    Every engine entry point (:meth:`SproutEngine.evaluate`,
+    :meth:`SproutEngine.evaluate_topk`, :meth:`SproutEngine.evaluate_threshold`)
+    returns one of these.  The main fields:
+
+    * ``relation`` — the answer: the query's data columns plus a ``conf``
+      column holding each distinct tuple's confidence (for approximate modes,
+      the bracket midpoint or the Monte Carlo estimate clamped into the sound
+      bracket; for top-k, sorted most probable first).
+    * ``plan_style`` / ``execution`` / ``confidence`` — which plan, physical
+      backend, and confidence mode actually ran (an unsafe query requested
+      with an operator plan reports ``"dtree"`` here).
+    * ``signature`` — the query signature that drove the confidence operator
+      (``None`` on the lineage/d-tree routes, which do not use one).
+    * ``bounds`` — per data tuple, the guaranteed ``(lower, upper)`` bracket
+      of its confidence.  Degenerate (``lower == upper``) for exact modes;
+      for top-k/threshold it covers *every* candidate, not just the winners.
+    * ``epsilon`` — the error budget the approximation met (``None`` when the
+      result is exact).
+    * ``k`` / ``tau`` / ``decided`` — top-k/threshold metadata: the request,
+      and whether the answer set is provably decided (``decided=False`` only
+      when a ``max_steps`` budget ran out first).
+    * ``refine_steps`` — total d-tree expansions spent (across all workers,
+      when the evaluation ran with ``workers >= 1``).
+    * ``tuples_seconds`` / ``prob_seconds`` / ``answer_rows`` /
+      ``rows_processed`` / ``scans_used`` — the paper's cost metrics: time to
+      materialise the answer vs. time to compute confidences, the number of
+      (duplicate-bearing) answer rows, total rows flowing through the plan,
+      and how many sequential scans the confidence operator needed.
+    """
 
     query_name: str
     plan_style: str
@@ -172,27 +216,83 @@ class EvaluationResult:
         )
 
 
+def _default_workers() -> int:
+    """Engine-wide worker default: the ``REPRO_WORKERS`` env var, else 0.
+
+    The environment hook is what lets CI run the whole tier-1 suite with the
+    parallel confidence path switched on, without touching any test.
+    """
+    value = os.environ.get("REPRO_WORKERS", "").strip()
+    if not value:
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise PlanningError(
+            f"REPRO_WORKERS must be a non-negative integer, got {value!r}"
+        ) from None
+
+
+@dataclass
+class _AnswerLineage:
+    """A materialised answer reduced to what the lineage routes consume."""
+
+    schema: Schema
+    order: List[str]
+    rows_processed: int
+    answer_rows: int
+    lineage: Dict[Tuple[object, ...], DNF]
+    probabilities: Dict[int, float]
+
+
 class SproutEngine:
     """Query engine over a :class:`ProbabilisticDatabase`.
 
-    ``execution`` selects the default physical backend for every evaluation:
-    ``"row"`` (the iterator-model operators) or ``"batch"`` (the columnar
-    backend processing ~``batch_size``-row column chunks).
+    Parameters
+    ----------
+    database
+        The tuple-independent probabilistic database to evaluate against.
+    execution
+        Default physical backend for every evaluation: ``"row"`` (the
+        iterator-model operators) or ``"batch"`` (the columnar backend
+        processing ~``batch_size``-row column chunks).
+    confidence
+        Default confidence mode: ``"exact"`` (operator paths for tractable
+        queries, fully compiled d-trees for unsafe ones) or ``"approx"``
+        (anytime d-tree bounds with absolute error budget ``epsilon``).
+    dtree_max_steps
+        Cap on d-tree compilation per tuple; when the cap is hit in approx
+        mode the Karp–Luby estimator (``monte_carlo_samples`` draws, seeded
+        per tuple from ``seed`` so approximate results are reproducible for
+        any worker count; ``seed=None`` draws fresh entropy) supplies the
+        point estimate within the sound d-tree bracket.
+    workers
+        Number of worker processes for per-tuple confidence computation on
+        the d-tree routes (plain evaluation, top-k, threshold).  ``0`` — the
+        default, or the ``REPRO_WORKERS`` environment variable when set —
+        computes in-process; ``N >= 1`` fans the answer tuples out to a
+        process pool kept for the engine's lifetime (release it with
+        :meth:`close` or by using the engine as a context manager).  On a
+        fresh engine, plain :meth:`evaluate` results are bit-identical for
+        every worker count, and top-k/threshold results for every worker
+        count ``>= 1`` (``workers=0`` runs the serial cached-tree scheduler
+        instead: same decided set — and exact-mode selected confidences —
+        but step counts and non-selected bounds may differ).
 
-    ``confidence`` selects the default confidence mode: ``"exact"`` (operator
-    paths for tractable queries, fully compiled d-trees for unsafe ones) or
-    ``"approx"`` (anytime d-tree bounds with absolute error budget
-    ``epsilon``).  ``dtree_max_steps`` caps d-tree compilation; when the cap
-    is hit in approx mode the Karp–Luby estimator (``monte_carlo_samples``
-    draws from a generator seeded with ``seed`` afresh on every call, so
-    approximate results are reproducible; ``seed=None`` draws fresh entropy)
-    supplies the point estimate within the sound d-tree bracket.  Each
-    :meth:`evaluate` call may override ``execution``, ``confidence``, and
-    ``epsilon``.
+    Each :meth:`evaluate` call may override ``execution``, ``confidence``,
+    ``epsilon``, and ``workers``.
 
-    The engine keeps one :class:`repro.prob.dtree.DTreeCache` for its
-    lifetime: every d-tree route (plain evaluation, top-k, threshold) reuses
-    and keeps refining the trees compiled for previously seen lineage.
+    In-process evaluation (``workers=0``) keeps one
+    :class:`repro.prob.dtree.DTreeCache` for the engine's lifetime: the
+    top-k/threshold scheduler reuses and keeps refining the trees compiled
+    for previously seen lineage.  Parallel runs (and the plain d-tree
+    evaluation route under every worker count) instead compute each tuple in
+    isolation — that is what makes results independent of the worker count
+    and of evaluation history.
+
+    Raises :class:`repro.errors.PlanningError` for invalid modes or
+    parameters, and :class:`repro.errors.ParallelExecutionError` if a worker
+    process fails mid-evaluation.
     """
 
     def __init__(
@@ -205,6 +305,7 @@ class SproutEngine:
         dtree_max_steps: Optional[int] = DEFAULT_MAX_STEPS,
         monte_carlo_samples: Optional[int] = 10_000,
         seed: Optional[int] = 0,
+        workers: Optional[int] = None,
     ):
         if execution not in EXECUTION_MODES:
             raise PlanningError(
@@ -218,6 +319,10 @@ class SproutEngine:
             )
         if epsilon < 0.0:
             raise PlanningError(f"epsilon must be non-negative, got {epsilon}")
+        if workers is None:
+            workers = _default_workers()
+        if workers < 0:
+            raise PlanningError(f"workers must be non-negative, got {workers}")
         self.database = database
         self.execution = execution
         self.batch_size = batch_size
@@ -226,12 +331,45 @@ class SproutEngine:
         self.dtree_max_steps = dtree_max_steps
         self.monte_carlo_samples = monte_carlo_samples
         self.seed = seed
+        self.workers = workers
         self.dtree_cache = DTreeCache()
         self.planner = JoinOrderPlanner(database)
+        self._executors: Dict[int, ConfidenceExecutor] = {}
 
-    def _monte_carlo_rng(self) -> random.Random:
-        """A fresh, deterministically seeded generator for one evaluation."""
-        return random.Random(self.seed)
+    # -- parallel executor lifecycle --------------------------------------------
+
+    def _executor_for(self, workers: int) -> ConfidenceExecutor:
+        """The (lazily created, reused) executor backing ``workers`` processes."""
+        executor = self._executors.get(workers)
+        if executor is None:
+            executor = ConfidenceExecutor.create(workers)
+            self._executors[workers] = executor
+        return executor
+
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        if workers is None:
+            return self.workers
+        if workers < 0:
+            raise PlanningError(f"workers must be non-negative, got {workers}")
+        return workers
+
+    def close(self) -> None:
+        """Shut down any worker pools this engine spawned (idempotent)."""
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    def __enter__(self) -> "SproutEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- static analysis --------------------------------------------------------
 
@@ -330,27 +468,36 @@ class SproutEngine:
         execution: Optional[str] = None,
         confidence: Optional[str] = None,
         epsilon: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         """Compute the distinct answer tuples of ``query`` and their confidences.
 
         ``execution`` overrides the engine's default backend for this call
         (``"row"`` or ``"batch"``); ``confidence`` and ``epsilon`` override
-        the engine's confidence mode and error budget.  Unsafe queries (no
-        hierarchical FD-reduct) are routed to the d-tree engine regardless of
-        the requested plan style.
+        the engine's confidence mode and error budget; ``workers`` overrides
+        the engine's parallelism for the per-tuple confidence work on the
+        d-tree routes (operator plans for tractable queries are single
+        sequential scans and ignore it).  Unsafe queries (no hierarchical
+        FD-reduct) are routed to the d-tree engine regardless of the
+        requested plan style.
         """
         execution, confidence, epsilon = self._resolve_modes(
             plan, conf_method, execution, confidence, epsilon
         )
+        workers = self._resolve_workers(workers)
         self._check_supported(query)
         if plan == "dtree" or confidence == "approx":
-            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
+            return self._evaluate_dtree(
+                query, join_order, execution, confidence, epsilon, workers
+            )
         if plan == "lineage":
             return self._evaluate_lineage(query, join_order, execution)
         if not self.is_tractable(query, use_fds):
             # Unsafe query: no safe plan and no hierarchical FD-reduct exists.
             # Route to the anytime d-tree engine instead of raising.
-            return self._evaluate_dtree(query, join_order, execution, confidence, epsilon)
+            return self._evaluate_dtree(
+                query, join_order, execution, confidence, epsilon, workers
+            )
         if plan == "lazy":
             if execution == "batch":
                 return self._evaluate_lazy_batch(
@@ -415,15 +562,23 @@ class SproutEngine:
         execution: Optional[str] = None,
         confidence: Optional[str] = None,
         max_steps: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         """The ``k`` most probable answer tuples of ``query``.
 
         Tractable queries under ``confidence="exact"`` short-circuit through
         the requested operator plan (confidences are exact anyway, so the
-        selection is a sort); everything else routes to the bound-driven
+        selection is a sort); everything else routes to a bound-driven
         refinement scheduler, which interleaves d-tree refinement across the
         candidate tuples and stops as soon as the top-k set is provably
         decided — no tuple is refined further than the decision requires.
+        With ``workers=0`` that is the serial crossing-pair scheduler
+        (:class:`repro.sprout.topk.RefinementScheduler`, reusing the
+        engine's d-tree cache across calls); with ``workers >= 1`` it is the
+        round-based parallel scheduler
+        (:class:`repro.sprout.parallel.ParallelRefinementScheduler`), which
+        refines a frontier batch of gating tuples concurrently per round and
+        gives identical results for every worker count >= 1.
 
         The result relation holds the selected tuples, most probable first;
         :attr:`EvaluationResult.bounds` brackets *every* candidate and
@@ -434,6 +589,10 @@ class SproutEngine:
         explicit ``max_steps`` bounds that phase too, reporting bracket
         midpoints when it runs out); under ``"approx"`` they stay bracket
         midpoints.
+
+        Raises :class:`repro.errors.PlanningError` for invalid parameters
+        and :class:`repro.errors.ApproximationBudgetError` when exact-mode
+        finishing exhausts the engine-default step cap.
         """
         if k < 1:
             raise PlanningError(f"k must be positive, got {k}")
@@ -448,6 +607,7 @@ class SproutEngine:
             execution=execution,
             confidence=confidence,
             max_steps=max_steps,
+            workers=workers,
         )
 
     def evaluate_threshold(
@@ -461,11 +621,13 @@ class SproutEngine:
         execution: Optional[str] = None,
         confidence: Optional[str] = None,
         max_steps: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
         """The answer tuples whose confidence is at least ``tau``.
 
         Same routing as :meth:`evaluate_topk`: exact operator plans for
-        tractable queries, the refinement scheduler otherwise — each
+        tractable queries, a refinement scheduler otherwise (serial at
+        ``workers=0``, round-based parallel at ``workers >= 1``) — each
         candidate is refined only until its bracket clears τ on one side.
         """
         if not 0.0 <= tau <= 1.0:
@@ -481,6 +643,7 @@ class SproutEngine:
             execution=execution,
             confidence=confidence,
             max_steps=max_steps,
+            workers=workers,
         )
 
     def _evaluate_bounded(
@@ -495,10 +658,12 @@ class SproutEngine:
         execution: Optional[str],
         confidence: Optional[str],
         max_steps: Optional[int],
+        workers: Optional[int],
     ) -> EvaluationResult:
         execution, confidence, _ = self._resolve_modes(
             plan, conf_method, execution, confidence, None
         )
+        workers = self._resolve_workers(workers)
         self._check_supported(query)
         if (
             confidence == "exact"
@@ -516,7 +681,7 @@ class SproutEngine:
             )
             return self._select_from_exact(result, k, tau)
         return self._evaluate_scheduled(
-            query, k, tau, join_order, execution, confidence, max_steps
+            query, k, tau, join_order, execution, confidence, max_steps, workers
         )
 
     def _select_from_exact(
@@ -548,15 +713,69 @@ class SproutEngine:
         execution: str,
         confidence: str,
         max_steps: Optional[int],
+        workers: int,
     ) -> EvaluationResult:
-        """Multi-tuple bound-driven refinement over the lineage d-trees."""
+        """Multi-tuple bound-driven refinement over the lineage d-trees.
+
+        ``workers=0`` runs the serial crossing-pair scheduler on live trees
+        from the engine's d-tree cache; ``workers >= 1`` runs the
+        deterministic round-based parallel scheduler (the trees live in the
+        workers, the engine tracks bounds).
+        """
         started = perf_counter()
-        answer, order, rows_processed = self._answer_relation(query, join_order, execution)
+        answer = self._answer_lineage(query, join_order, execution)
         tuples_seconds = perf_counter() - started
 
         started = perf_counter()
-        probabilities = probabilities_from_answer(answer)
-        trees = dtrees_from_lineage(answer, probabilities, cache=self.dtree_cache)
+        if workers == 0:
+            outcome, finishing_steps = self._run_serial_scheduler(
+                answer, k, tau, confidence, max_steps
+            )
+        else:
+            outcome, finishing_steps = self._run_parallel_scheduler(
+                answer, k, tau, confidence, max_steps, workers
+            )
+        prob_seconds = perf_counter() - started
+
+        ordered = sorted(outcome.selected, key=lambda c: (-c.midpoint, repr(c.data)))
+        relation = self._confidence_relation(
+            answer.schema,
+            query.name,
+            ((candidate.data, candidate.midpoint) for candidate in ordered),
+        )
+        return EvaluationResult(
+            query_name=query.name,
+            plan_style="dtree",
+            relation=relation,
+            signature=None,
+            execution=execution,
+            join_order=answer.order,
+            tuples_seconds=tuples_seconds,
+            prob_seconds=prob_seconds,
+            answer_rows=answer.answer_rows,
+            rows_processed=answer.rows_processed,
+            scans_used=1,
+            confidence=confidence,
+            epsilon=None,
+            bounds=outcome.bounds(),
+            k=k,
+            tau=tau,
+            decided=outcome.decided,
+            refine_steps=outcome.steps + finishing_steps,
+        )
+
+    def _run_serial_scheduler(
+        self,
+        answer: _AnswerLineage,
+        k: Optional[int],
+        tau: Optional[float],
+        confidence: str,
+        max_steps: Optional[int],
+    ):
+        """The in-process route: live cached trees + crossing-pair scheduling."""
+        trees = dtrees_from_dnfs(
+            answer.lineage, answer.probabilities, cache=self.dtree_cache
+        )
         candidates = [TupleCandidate(data, tree=tree) for data, tree in trees.items()]
         scheduler = RefinementScheduler(
             candidates,
@@ -593,34 +812,51 @@ class SproutEngine:
                     if max_steps is None:
                         raise
                     break  # explicit cap: report the midpoints we have
-        prob_seconds = perf_counter() - started
+        return outcome, finishing_steps
 
-        ordered = sorted(outcome.selected, key=lambda c: (-c.midpoint, repr(c.data)))
-        relation = self._confidence_relation(
-            answer.schema,
-            query.name,
-            ((candidate.data, candidate.midpoint) for candidate in ordered),
+    def _run_parallel_scheduler(
+        self,
+        answer: _AnswerLineage,
+        k: Optional[int],
+        tau: Optional[float],
+        confidence: str,
+        max_steps: Optional[int],
+        workers: int,
+    ):
+        """The parallel route: round-based frontier refinement on a worker pool.
+
+        Exact-mode finishing grants each selected tuple the engine-default
+        per-tuple cap (raising on exhaustion like the serial route); an
+        explicit ``max_steps`` instead grants each tuple the budget left
+        after the decision and reports midpoints — per tuple rather than
+        shared sequentially, so the behaviour does not depend on worker
+        scheduling.
+        """
+        executor = self._executor_for(workers)
+        scheduler = ParallelRefinementScheduler(
+            answer.lineage,
+            answer.probabilities,
+            executor,
+            max_steps=self.dtree_max_steps if max_steps is None else max_steps,
         )
-        return EvaluationResult(
-            query_name=query.name,
-            plan_style="dtree",
-            relation=relation,
-            signature=None,
-            execution=execution,
-            join_order=order,
-            tuples_seconds=tuples_seconds,
-            prob_seconds=prob_seconds,
-            answer_rows=len(answer),
-            rows_processed=rows_processed,
-            scans_used=1,
-            confidence=confidence,
-            epsilon=None,
-            bounds=outcome.bounds(),
-            k=k,
-            tau=tau,
-            decided=outcome.decided,
-            refine_steps=outcome.steps + finishing_steps,
-        )
+        outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
+        finishing_steps = 0
+        if confidence == "exact":
+            if max_steps is None:
+                finishing_steps = finish_exact(
+                    outcome,
+                    executor,
+                    per_tuple_cap=self.dtree_max_steps,
+                    raise_on_budget=True,
+                )
+            else:
+                finishing_steps = finish_exact(
+                    outcome,
+                    executor,
+                    per_tuple_cap=max(0, max_steps - outcome.steps),
+                    raise_on_budget=False,
+                )
+        return outcome, finishing_steps
 
     # -- lazy plans -------------------------------------------------------------------
 
@@ -632,6 +868,44 @@ class SproutEngine:
     ) -> Tuple[Relation, List[str], int]:
         return materialize_answer(
             self.database, self.planner, query, join_order, execution, self.batch_size
+        )
+
+    def _answer_lineage(
+        self,
+        query: ConjunctiveQuery,
+        join_order: Optional[Sequence[str]],
+        execution: str,
+    ) -> _AnswerLineage:
+        """Materialise the answer and extract per-tuple lineage.
+
+        Under ``execution="batch"`` the answer stays columnar end to end:
+        the batch join pipeline's output is walked column-wise
+        (:func:`repro.sprout.onescan.columnar_lineage`) without ever
+        materialising row tuples, producing the same clause sets and
+        probability map as the row path.
+        """
+        if execution == "batch":
+            order = list(join_order) if join_order else self.planner.lazy_join_order(query)
+            plan = build_answer_plan_batch(self.database, query, order, self.batch_size)
+            plan = project_answer_columns(plan, query)
+            batch = plan.to_batch(query.name)
+            clause_sets, probabilities = columnar_lineage(batch)
+            return _AnswerLineage(
+                schema=batch.schema,
+                order=order,
+                rows_processed=plan.total_rows_processed(),
+                answer_rows=len(batch),
+                lineage={data: DNF(clauses) for data, clauses in clause_sets.items()},
+                probabilities=probabilities,
+            )
+        answer, order, rows_processed = self._answer_relation(query, join_order, "row")
+        return _AnswerLineage(
+            schema=answer.schema,
+            order=order,
+            rows_processed=rows_processed,
+            answer_rows=len(answer),
+            lineage=lineage_by_tuple(answer),
+            probabilities=probabilities_from_answer(answer),
         )
 
     def _evaluate_lazy(
@@ -822,6 +1096,7 @@ class SproutEngine:
         execution: str,
         confidence: str,
         epsilon: float,
+        workers: int,
     ) -> EvaluationResult:
         """Evaluate via lineage + decomposition trees.
 
@@ -829,21 +1104,28 @@ class SproutEngine:
         (raising :class:`repro.errors.ApproximationBudgetError` if the step
         cap is hit first); ``"approx"`` stops at the ``epsilon`` budget and
         records guaranteed bounds in :attr:`EvaluationResult.bounds`.
+
+        Each distinct answer tuple is an isolated work unit of the parallel
+        confidence executor, with its Karp–Luby fallback seed derived from
+        the engine seed and the tuple's lineage — which is why a fresh
+        engine returns bit-identical results for every ``workers`` setting
+        (the serial backend runs the very same work units in-process).
         """
         started = perf_counter()
-        answer, order, rows_processed = self._answer_relation(query, join_order, execution)
+        answer = self._answer_lineage(query, join_order, execution)
         tuples_seconds = perf_counter() - started
 
         started = perf_counter()
-        results = approximate_confidences_from_lineage(
-            answer,
+        results = compute_confidences(
+            answer.lineage,
+            answer.probabilities,
+            self._executor_for(workers),
             epsilon=0.0 if confidence == "exact" else epsilon,
             max_steps=self.dtree_max_steps,
             monte_carlo_samples=(
                 None if confidence == "exact" else self.monte_carlo_samples
             ),
-            rng=self._monte_carlo_rng(),
-            cache=self.dtree_cache,
+            base_seed=self.seed,
         )
         prob_seconds = perf_counter() - started
 
@@ -862,11 +1144,11 @@ class SproutEngine:
             relation=relation,
             signature=None,
             execution=execution,
-            join_order=order,
+            join_order=answer.order,
             tuples_seconds=tuples_seconds,
             prob_seconds=prob_seconds,
-            answer_rows=len(answer),
-            rows_processed=rows_processed,
+            answer_rows=answer.answer_rows,
+            rows_processed=answer.rows_processed,
             scans_used=1,
             confidence=confidence,
             epsilon=None if confidence == "exact" else epsilon,

@@ -49,6 +49,7 @@ __all__ = [
     "OneScanState",
     "streaming_scan_confidences",
     "columnar_bag_probability",
+    "columnar_lineage",
     "columnar_scan_confidences",
     "one_scan_operator_columns",
 ]
@@ -583,3 +584,55 @@ def streaming_scan_confidences(
         have_rows = True
     if have_rows:
         yield current_data, state.finish()
+
+
+# ---------------------------------------------------------------------------
+# Columnar lineage extraction (the batch pipeline's hand-off to the d-tree
+# and parallel-confidence paths)
+# ---------------------------------------------------------------------------
+
+
+def columnar_lineage(batch) -> Tuple[Dict[Tuple[object, ...], set], Dict[int, float]]:
+    """Extract per-tuple DNF lineage and the variable→probability map from a
+    :class:`repro.algebra.columnar.ColumnBatch` without materialising rows.
+
+    The columnar twin of :func:`repro.prob.lineage.lineage_by_tuple` plus
+    :func:`repro.prob.lineage.probabilities_from_answer`: the answer batch
+    stays in column form (one zip across the VAR columns per clause) and the
+    result is bit-identical to the row path — the clause *sets* and
+    probability floats are the same objects the row extraction would build.
+    Used by the d-tree and parallel-confidence routes under
+    ``execution="batch"``.  Returns ``(data tuple → set of clause frozensets,
+    variable → probability)``.
+    """
+    from repro.errors import ProbabilityError
+    from repro.prob.lineage import split_answer_columns
+
+    data_indices, var_indices, prob_indices = split_answer_columns(batch.schema)
+    if len(var_indices) != len(prob_indices):
+        raise ProbabilityError("answer batch has unpaired variable/probability columns")
+    columns = batch.columns
+    data_columns = [columns[i] for i in data_indices]
+    clauses: Dict[Tuple[object, ...], set] = {}
+    probabilities: Dict[int, float] = {}
+    var_columns = [columns[i] for i in var_indices]
+    prob_columns = [columns[i] for i in prob_indices]
+    data_rows = zip(*data_columns) if data_columns else (() for _ in range(len(batch)))
+    var_rows = zip(*var_columns) if var_columns else (() for _ in range(len(batch)))
+    prob_rows = zip(*prob_columns) if prob_columns else (() for _ in range(len(batch)))
+    for data, variables, probs in zip(data_rows, var_rows, prob_rows):
+        clause = []
+        for variable, probability in zip(variables, probs):
+            if variable is None:
+                raise ProbabilityError("answer row has a NULL variable column")
+            variable = int(variable)
+            clause.append(variable)
+            existing = probabilities.get(variable)
+            if existing is not None and abs(existing - probability) > 1e-12:
+                raise ProbabilityError(
+                    f"variable {variable} carries two different probabilities "
+                    f"({existing} vs {probability})"
+                )
+            probabilities[variable] = float(probability)
+        clauses.setdefault(tuple(data), set()).add(frozenset(clause))
+    return clauses, probabilities

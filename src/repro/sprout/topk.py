@@ -22,6 +22,14 @@ every d-tree expansion tightens its bracket and a tree closes after finitely
 many expansions, both loops terminate without any epsilon — the optional
 ``max_steps`` budget only guards against pathological lineage, reporting
 ``decided=False`` with the best partition so far instead of running away.
+
+This scheduler refines one gating tuple at a time on live, in-process trees
+(and is what ``SproutEngine(workers=0)`` runs, reusing the engine's d-tree
+cache across calls).  Its parallel counterpart,
+:class:`repro.sprout.parallel.ParallelRefinementScheduler`, generalises the
+single gating tuple to a *frontier batch* refined concurrently per round on
+a worker pool; both share the same decision rules and the per-grant step
+quantum :data:`DEFAULT_CHUNK`.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.errors import PlanningError
 from repro.prob.dtree import DTree
 
 __all__ = [
+    "DEFAULT_CHUNK",
     "TupleCandidate",
     "SchedulerOutcome",
     "RefinementScheduler",
@@ -120,12 +129,29 @@ class SchedulerOutcome:
 
 
 class RefinementScheduler:
-    """Interleave d-tree refinement across candidate tuples.
+    """Interleave d-tree refinement across candidate tuples (in-process).
 
-    ``chunk`` is the number of expansions granted per scheduling decision and
-    ``max_steps`` the optional total budget across all tuples (``None`` —
-    refine until decided, which always terminates because every tree closes
-    after finitely many expansions).
+    Parameters
+    ----------
+    candidates
+        The competing :class:`TupleCandidate`\\ s — exact values and live,
+        resumable d-trees may be mixed freely.
+    chunk
+        Expansions granted per scheduling decision (scaled up automatically
+        on large candidate sets so the ranking pass stays amortised).
+    max_steps
+        Optional total expansion budget across all tuples.  ``None`` refines
+        until the answer set is decided, which always terminates because
+        every tree closes after finitely many expansions; a finite budget
+        that runs out yields ``decided=False`` with the best partition so
+        far — never an exception.
+
+    :meth:`run_topk` and :meth:`run_threshold` return a
+    :class:`SchedulerOutcome`; both raise
+    :class:`repro.errors.PlanningError` for invalid ``k``/``tau``.  Ties at
+    the decision boundary resolve on the data tuple's ``repr``, so the
+    selected set is identical no matter what order the candidates arrived in
+    (row vs. batch pipelines) — and identical to the parallel scheduler's.
     """
 
     def __init__(

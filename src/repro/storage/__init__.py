@@ -1,4 +1,22 @@
-"""Storage substrate: schemas, relations, heap files, external sort, catalog."""
+"""Storage substrate: schemas, relations, heap files, external sort, catalog.
+
+The bottom layer everything else stands on:
+
+* :mod:`repro.storage.schema` — attributes with *column roles*
+  (:class:`repro.storage.schema.ColumnRole`): ordinary ``DATA`` columns vs.
+  the ``VAR``/``PROB`` pairs that carry each tuple's Boolean variable and
+  its marginal probability through query plans.
+* :mod:`repro.storage.relation` — in-memory relations with both row and
+  column access (``from_columns``/``to_columns`` back the columnar engine).
+* :mod:`repro.storage.heapfile` / :mod:`repro.storage.external_sort` —
+  page-based secondary storage and k-way external merge sort, used by the
+  disk-materialising evaluation paths.
+* :mod:`repro.storage.catalog` — tables, primary keys, and the functional
+  dependencies the FD-aware rewriting (Section IV) consumes.
+* :mod:`repro.storage.csv_io` — CSV import/export for the TPC-H generator.
+
+See ``docs/architecture.md`` for the full layer map.
+"""
 
 from repro.storage.catalog import Catalog, FunctionalDependency, TableInfo
 from repro.storage.csv_io import read_csv, write_csv

@@ -1,4 +1,15 @@
-"""TPC-H substrate: schema, data generator, probabilistic conversion, queries."""
+"""TPC-H substrate: schema, data generator, probabilistic conversion, queries.
+
+The experimental workload of Section VII: a pure-Python, seedable TPC-H
+data generator (:mod:`repro.tpch.datagen`, scaled by *scale factor*), the
+conversion to a tuple-independent probabilistic database
+(:func:`repro.tpch.probabilistic.probabilistic_tpch`), the paper's query
+set over it (:mod:`repro.tpch.queries`), and the Section VII case-study
+classification of which queries admit which plan styles
+(:mod:`repro.tpch.casestudy`).  Benchmarks under ``benchmarks/`` build
+their instances exclusively through this package — ``docs/benchmarks.md``
+maps each script to the paper figure it reproduces.
+"""
 
 from repro.tpch.casestudy import QueryClassification, case_study_table, classify_all, classify_query
 from repro.tpch.datagen import TpchData, generate_tpch

@@ -257,7 +257,10 @@ class TestEngineTopK:
         assert result.refine_steps == 0
 
     def test_shared_cache_reuses_refinement(self, chain_db):
-        engine = SproutEngine(chain_db)
+        # The shared d-tree cache is an in-process feature: pin workers=0 so
+        # the test keeps exercising it under the REPRO_WORKERS CI leg (the
+        # parallel scheduler trades this cross-call reuse for determinism).
+        engine = SproutEngine(chain_db, workers=0)
         first = engine.evaluate_topk(chain_query(), k=2)
         assert engine.dtree_cache.misses > 0
         hits_before = engine.dtree_cache.hits

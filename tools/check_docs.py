@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Documentation checker: links resolve, references are complete.
+
+Run from anywhere (``python tools/check_docs.py``); CI runs it in the
+``docs`` job on every push. Three families of checks, all stdlib-only:
+
+1. **Links** — every relative markdown link in ``docs/*.md`` and
+   ``README.md`` must point at an existing file (anchors and external
+   ``http(s)``/``mailto`` links are skipped; pure-anchor links must match a
+   heading in the same file).
+2. **Package coverage** — ``docs/architecture.md`` and
+   ``docs/confidence.md`` must mention every package under ``src/repro/``
+   by its dotted name (``repro.storage``, ``repro.sprout``, ...), so the
+   architecture docs can never silently omit a subsystem.
+3. **Benchmark coverage** — ``docs/benchmarks.md`` must mention every
+   ``benchmarks/bench_*.py`` script, so a new benchmark cannot ship
+   undocumented.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+DOCS = REPO / "docs"
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def heading_anchors(text: str) -> set:
+    """GitHub-style anchors for every heading in a markdown document."""
+    anchors = set()
+    for heading in HEADING.findall(text):
+        slug = re.sub(r"[`*_]", "", heading.strip().lower())
+        slug = re.sub(r"[^\w\- ]", "", slug).replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def check_links(problems: list) -> None:
+    documents = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    for document in documents:
+        text = document.read_text(encoding="utf-8")
+        anchors = heading_anchors(text)
+        for target in LINK.findall(text):
+            if target.startswith(EXTERNAL):
+                continue
+            if target.startswith("#"):
+                if target[1:] not in anchors:
+                    problems.append(
+                        f"{document.relative_to(REPO)}: broken anchor {target!r}"
+                    )
+                continue
+            path = target.split("#", 1)[0]
+            if not (document.parent / path).resolve().exists():
+                problems.append(
+                    f"{document.relative_to(REPO)}: broken link {target!r}"
+                )
+
+
+def check_package_coverage(problems: list) -> None:
+    packages = sorted(
+        path.parent.name
+        for path in (REPO / "src" / "repro").glob("*/__init__.py")
+    )
+    if not packages:
+        problems.append("src/repro contains no packages — wrong checkout?")
+    for name in ("architecture.md", "confidence.md"):
+        document = DOCS / name
+        if not document.exists():
+            problems.append(f"docs/{name} is missing")
+            continue
+        text = document.read_text(encoding="utf-8")
+        for package in packages:
+            if f"repro.{package}" not in text:
+                problems.append(
+                    f"docs/{name}: does not mention package repro.{package}"
+                )
+
+
+def check_benchmark_coverage(problems: list) -> None:
+    document = DOCS / "benchmarks.md"
+    if not document.exists():
+        problems.append("docs/benchmarks.md is missing")
+        return
+    text = document.read_text(encoding="utf-8")
+    for script in sorted((REPO / "benchmarks").glob("bench_*.py")):
+        if script.name not in text:
+            problems.append(f"docs/benchmarks.md: does not mention {script.name}")
+
+
+def main() -> int:
+    problems: list = []
+    check_links(problems)
+    check_package_coverage(problems)
+    check_benchmark_coverage(problems)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    documents = len(list(DOCS.glob("*.md")))
+    print(f"docs OK: {documents} documents, links resolve, references complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
