@@ -14,6 +14,11 @@ Everything about *probability*, independent of query processing:
   early, plus the Karp–Luby Monte Carlo fallback.  Its deterministic,
   resumable refinement is what the parallel executor
   (:mod:`repro.sprout.parallel`) distributes across worker processes.
+* :mod:`repro.prob.sharedag` — the shared-lineage DAG: hash-consed
+  subformula nodes shared *across* answer tuples, with per-tuple
+  :class:`SharedDTree` views whose bounds tighten whenever any tuple
+  refines a shared node.  What the serial top-k/threshold scheduler runs
+  on by default (``shared_lineage=True``).
 * :mod:`repro.prob.worlds` — brute-force possible-worlds enumeration, the
   ground truth every other evaluator is differentially tested against.
 * :mod:`repro.prob.synthetic` — synthetic lineage generators for stress
@@ -53,6 +58,12 @@ from repro.prob.lineage import (
     split_answer_columns,
 )
 from repro.prob.pdb import PossibleWorld, ProbabilisticDatabase
+from repro.prob.sharedag import (
+    ClauseInterner,
+    SharedDTree,
+    SharedDTreeCache,
+    SharedLineageStore,
+)
 from repro.prob.ptable import ProbabilisticTable, make_tuple_independent
 from repro.prob.synthetic import bipartite_lineage, hub_lineage
 from repro.prob.variables import VariableInfo, VariableRegistry
@@ -62,6 +73,7 @@ __all__ = [
     "And",
     "ApproxResult",
     "Bottom",
+    "ClauseInterner",
     "DNF",
     "DTree",
     "DTreeCache",
@@ -71,6 +83,9 @@ __all__ = [
     "PossibleWorld",
     "ProbabilisticDatabase",
     "ProbabilisticTable",
+    "SharedDTree",
+    "SharedDTreeCache",
+    "SharedLineageStore",
     "Top",
     "Var",
     "VariableInfo",

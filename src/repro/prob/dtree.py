@@ -88,15 +88,24 @@ def canonical_clauses(dnf: DNF) -> CanonicalClauses:
     Two DNFs over the same clauses map to the same value in every process,
     which makes it usable as a cross-process cache key and as seed material
     for per-tuple Monte Carlo derivation (see
-    :func:`repro.sprout.parallel.derive_task_seed`).
+    :func:`repro.sprout.parallel.derive_task_seed`).  The serialisation is
+    cached on the DNF object: the parallel executor re-canonicalises the
+    same lineage on every task build, so repeated calls are O(1).
     """
-    return tuple(sorted(tuple(sorted(clause)) for clause in dnf.clauses))
+    cached = dnf._canonical
+    if cached is None:
+        cached = tuple(sorted(tuple(sorted(clause)) for clause in dnf.clauses))
+        dnf._canonical = cached
+    return cached
 
 
 def dnf_from_canonical(clauses: CanonicalClauses) -> DNF:
     """Rebuild a :class:`DNF` from its canonical clause form (the inverse of
-    :func:`canonical_clauses` up to clause order, which a DNF does not keep)."""
-    return DNF(clauses)
+    :func:`canonical_clauses` up to clause order, which a DNF does not keep).
+    ``clauses`` must actually be canonical (it is pre-seeded as the cache)."""
+    dnf = DNF(clauses)
+    dnf._canonical = tuple(clauses)
+    return dnf
 
 #: The frontier's influence weights are recomputed from scratch on a geometric
 #: schedule (next rebuild at ``steps * _REFRESH_FACTOR + _REFRESH_BASE``) so
@@ -158,6 +167,80 @@ _IND_OR = "ind_or"
 _DET_OR = "det_or"
 
 
+# The bound arithmetic and the branch-variable rule are shared, as module
+# functions, with the shared-lineage DAG (:mod:`repro.prob.sharedag`): both
+# engines promise *bit-identical* exact probabilities for the same clause
+# set, and one implementation is the only way that contract cannot drift.
+
+
+def combine_bounds(kind, children, weights) -> Tuple[float, float]:
+    """Interval combination for an ⊗ / ⊕ / ⊙ node over child bounds."""
+    if kind == _IND_AND:
+        lower = upper = 1.0
+        for child in children:
+            lower *= child.lower
+            upper *= child.upper
+    elif kind == _IND_OR:
+        lower = upper = 1.0
+        for child in children:
+            lower *= 1.0 - child.lower
+            upper *= 1.0 - child.upper
+        lower, upper = 1.0 - lower, 1.0 - upper
+    else:  # deterministic-or
+        lower = upper = 0.0
+        for weight, child in zip(weights, children):
+            lower += weight * child.lower
+            upper += weight * child.upper
+    return lower, min(1.0, upper)
+
+
+def influence_weight(kind, children, weights, slot: int) -> float:
+    """Midpoint-linearised derivative of a node w.r.t. child ``slot``."""
+    if kind == _DET_OR:
+        return weights[slot]
+    factor = 1.0
+    for index, child in enumerate(children):
+        if index == slot:
+            continue
+        mid = 0.5 * (child.lower + child.upper)
+        factor *= mid if kind == _IND_AND else 1.0 - mid
+    return factor
+
+
+def leaf_bounds(dnf: DNF, probabilities: Mapping[int, float]) -> Tuple[float, float]:
+    """Construction bounds of an open leaf (FKG upper, greedy-disjoint lower)."""
+    ordered = []
+    for clause in dnf.clauses:
+        weight = 1.0
+        for variable in clause:
+            weight *= probabilities[variable]
+        ordered.append((weight, sorted(clause), clause))
+    ordered.sort(key=lambda item: (-item[0], item[1]))
+    # Upper: independent-or over all clauses (FKG upper bound).
+    none_true = 1.0
+    for weight, _, _ in ordered:
+        none_true *= 1.0 - weight
+    # Lower: independent-or over a greedy variable-disjoint clause subset
+    # (the sub-DNF implies the full DNF and its clauses are independent).
+    used: set = set()
+    none_picked = 1.0
+    for weight, _, clause in ordered:
+        if used.isdisjoint(clause):
+            used.update(clause)
+            none_picked *= 1.0 - weight
+    return 1.0 - none_picked, 1.0 - none_true
+
+
+def branch_variable(dnf: DNF) -> int:
+    """Shannon cobranch choice: most frequent variable, smallest id on ties
+    — deterministic, and aiming at maximal simplification of both cofactors."""
+    counts: Dict[int, int] = {}
+    for clause in dnf.clauses:
+        for variable in clause:
+            counts[variable] = counts.get(variable, 0) + 1
+    return min(counts, key=lambda v: (-counts[v], v))
+
+
 class _Node:
     """Shared fields: bounds plus the link to the parent slot holding us."""
 
@@ -190,27 +273,7 @@ class _Leaf(_Node):
         self.dnf = dnf
         self.expanded = False
         self.heap_gen = -1
-        ordered = []
-        for clause in dnf.clauses:
-            weight = 1.0
-            for variable in clause:
-                weight *= probabilities[variable]
-            ordered.append((weight, sorted(clause), clause))
-        ordered.sort(key=lambda item: (-item[0], item[1]))
-        # Upper: independent-or over all clauses (FKG upper bound).
-        none_true = 1.0
-        for weight, _, _ in ordered:
-            none_true *= 1.0 - weight
-        self.upper = 1.0 - none_true
-        # Lower: independent-or over a greedy variable-disjoint clause subset
-        # (the sub-DNF implies the full DNF and its clauses are independent).
-        used: set = set()
-        none_picked = 1.0
-        for weight, _, clause in ordered:
-            if used.isdisjoint(clause):
-                used.update(clause)
-                none_picked *= 1.0 - weight
-        self.lower = 1.0 - none_picked
+        self.lower, self.upper = leaf_bounds(dnf, probabilities)
 
 
 class _Inner(_Node):
@@ -236,36 +299,11 @@ class _Inner(_Node):
         self.refresh_bounds()
 
     def refresh_bounds(self) -> None:
-        if self.kind == _IND_AND:
-            lower = upper = 1.0
-            for child in self.children:
-                lower *= child.lower
-                upper *= child.upper
-        elif self.kind == _IND_OR:
-            lower = upper = 1.0
-            for child in self.children:
-                lower *= 1.0 - child.lower
-                upper *= 1.0 - child.upper
-            lower, upper = 1.0 - lower, 1.0 - upper
-        else:  # deterministic-or
-            lower = upper = 0.0
-            for weight, child in zip(self.weights, self.children):
-                lower += weight * child.lower
-                upper += weight * child.upper
-        self.lower = lower
-        self.upper = min(1.0, upper)
+        self.lower, self.upper = combine_bounds(self.kind, self.children, self.weights)
 
     def child_weight(self, slot: int) -> float:
         """Midpoint-linearised derivative of this node w.r.t. child ``slot``."""
-        if self.kind == _DET_OR:
-            return self.weights[slot]
-        factor = 1.0
-        for index, child in enumerate(self.children):
-            if index == slot:
-                continue
-            mid = 0.5 * (child.lower + child.upper)
-            factor *= mid if self.kind == _IND_AND else 1.0 - mid
-        return factor
+        return influence_weight(self.kind, self.children, self.weights, slot)
 
 
 # ---------------------------------------------------------------------------
@@ -334,6 +372,11 @@ class DTree:
             if variable not in probabilities:
                 raise ProbabilityError(f"no probability for variable {variable}")
         self.steps = 0
+        #: Number of tree nodes ever constructed — the memory-proportional
+        #: size measure :class:`DTreeCache` evicts by (splice replacements
+        #: are not discounted, so this slightly over-approximates the live
+        #: tree, which is the safe direction for an eviction bound).
+        self.node_count = 0
         self._heap: List[Tuple[float, int, _Leaf]] = []
         self._heap_gen = 0
         self._counter = 0
@@ -344,6 +387,7 @@ class DTree:
     # -- structural decomposition (independent partition steps) ---------------
 
     def _build(self, dnf: DNF) -> object:
+        self.node_count += 1
         if dnf.is_true():
             return _Closed(1.0)
         if dnf.is_false():
@@ -364,6 +408,7 @@ class DTree:
             for variable in common:
                 weight *= self.probabilities[variable]
             rest = DNF(clause - common for clause in clauses)
+            self.node_count += 1  # the factored-out constant child
             return _Inner(
                 _IND_AND, [_Closed(weight), self._build(rest)], origin=dnf.clauses
             )
@@ -377,16 +422,11 @@ class DTree:
     # -- Shannon variable cobranching -----------------------------------------
 
     def _expand_leaf(self, leaf: _Leaf) -> None:
-        counts: Dict[int, int] = {}
-        for clause in leaf.dnf.clauses:
-            for variable in clause:
-                counts[variable] = counts.get(variable, 0) + 1
-        # Most frequent variable, smallest id on ties: deterministic and aims
-        # at maximal simplification of both cofactors.
-        branch = min(counts, key=lambda v: (-counts[v], v))
+        branch = branch_variable(leaf.dnf)
         p = self.probabilities[branch]
         positive = _cofactor_true(leaf.dnf, branch)
         negative = leaf.dnf.condition(branch, False)
+        self.node_count += 1  # the ⊙ node itself; children count via _build
         replacement = _Inner(
             _DET_OR,
             [self._build(positive), self._build(negative)],
@@ -633,24 +673,39 @@ class DTreeCache:
 
     All lookups must use probabilities from the same variable space (one
     probabilistic database): entries are keyed by the clause set alone.
-    ``max_entries`` bounds the tree cache with LRU eviction; the shared memo
-    (whose entries are not attributable to a single tree) is capped at
+    ``max_entries`` bounds the tree cache with LRU eviction; ``max_nodes``
+    additionally bounds the *summed node count* of the cached trees — entry
+    counts are blind to lineage size, so one workload of huge d-trees could
+    otherwise blow memory long before 4096 entries.  The shared memo (whose
+    entries are not attributable to a single tree) is capped at
     ``memo_limit`` and simply reset when it overflows — it is a pure
     accelerator, so dropping it never affects correctness.
     """
 
     def __init__(
-        self, max_entries: Optional[int] = 4096, memo_limit: Optional[int] = 1_000_000
+        self,
+        max_entries: Optional[int] = 4096,
+        memo_limit: Optional[int] = 1_000_000,
+        max_nodes: Optional[int] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ProbabilityError(f"max_entries must be positive, got {max_entries}")
         if memo_limit is not None and memo_limit < 1:
             raise ProbabilityError(f"memo_limit must be positive, got {memo_limit}")
+        if max_nodes is not None and max_nodes < 1:
+            raise ProbabilityError(f"max_nodes must be positive, got {max_nodes}")
         self.max_entries = max_entries
         self.memo_limit = memo_limit
+        self.max_nodes = max_nodes
         self.hits = 0
         self.misses = 0
         self._trees: Dict[FrozenSet[Clause], DTree] = {}
+        #: Last-seen node count per entry plus the running total — node
+        #: budget enforcement must be O(1) per access (cache hits are on
+        #: the per-tuple hot path), so totals are adjusted by delta when an
+        #: entry is touched rather than re-summed over all entries.
+        self._node_counts: Dict[FrozenSet[Clause], int] = {}
+        self._total_nodes = 0
         self._memo: Dict[FrozenSet[Clause], float] = {}
         #: Every (variable, probability) pair the cache has ever seen: both the
         #: cached trees *and* the shared memo are only valid under these values,
@@ -683,6 +738,8 @@ class DTreeCache:
         if tree is not None:
             self.hits += 1
             self._trees[key] = self._trees.pop(key)  # mark most recently used
+            self._account(key, tree)
+            self._enforce_node_budget()
             return tree
         self.misses += 1
         if self.memo_limit is not None and len(self._memo) > self.memo_limit:
@@ -691,12 +748,40 @@ class DTreeCache:
             self._memo = {}
         tree = DTree(dnf, probabilities, memo=self._memo)
         self._trees[key] = tree
+        self._account(key, tree)
         if self.max_entries is not None and len(self._trees) > self.max_entries:
-            self._trees.pop(next(iter(self._trees)))
+            self._evict(next(iter(self._trees)))
+        self._enforce_node_budget()
         return tree
+
+    def _account(self, key, tree: DTree) -> None:
+        """Fold the entry's current node count into the running total."""
+        before = self._node_counts.get(key, 0)
+        self._total_nodes += tree.node_count - before
+        self._node_counts[key] = tree.node_count
+
+    def _evict(self, key) -> None:
+        self._trees.pop(key)
+        self._total_nodes -= self._node_counts.pop(key, 0)
+
+    def _enforce_node_budget(self) -> None:
+        """Evict (LRU) until the tracked node total fits ``max_nodes``.
+
+        Trees grow after insertion — callers refine them in place — so each
+        entry's count is refreshed whenever it is accessed (the O(1) delta
+        in :meth:`_account`; counts of untouched entries may lag until
+        their next access).  The most recently accessed tree may be evicted
+        too: the caller holds it, the cache just forgets it.
+        """
+        if self.max_nodes is None:
+            return
+        while self._total_nodes > self.max_nodes and self._trees:
+            self._evict(next(iter(self._trees)))
 
     def clear(self) -> None:
         self._trees.clear()
+        self._node_counts.clear()
+        self._total_nodes = 0
         self._memo.clear()
         self._probabilities.clear()
         self.hits = 0

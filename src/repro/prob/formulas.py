@@ -21,7 +21,18 @@ from __future__ import annotations
 import abc
 
 from itertools import product as cartesian_product
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import ProbabilityError
 
@@ -271,12 +282,18 @@ class DNF:
     containing the empty clause is true.  Subsumed clauses are *not* removed
     automatically (query evaluation never produces them for queries without
     self-joins), but :meth:`minimised` is available.
+
+    ``_canonical`` caches the order-canonical serialisation computed by
+    :func:`repro.prob.dtree.canonical_clauses` — the parallel executor
+    serialises the same lineage once per *task* it builds, so the sort is
+    paid once per DNF object instead.
     """
 
-    __slots__ = ("clauses",)
+    __slots__ = ("clauses", "_canonical")
 
     def __init__(self, clauses: Iterable[Iterable[int]] = ()):
         self.clauses: FrozenSet[Clause] = frozenset(frozenset(c) for c in clauses)
+        self._canonical: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     @classmethod
     def from_rows(cls, rows: Iterable[Sequence[int]]) -> "DNF":

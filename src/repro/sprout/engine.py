@@ -51,6 +51,14 @@ confidence executor (:mod:`repro.sprout.parallel`).  ``workers=0`` — the
 default, overridable with the ``REPRO_WORKERS`` environment variable — keeps
 everything in-process; any worker count produces bit-identical results on a
 fresh engine.
+
+In-process top-k/threshold scheduling additionally runs in **shared-lineage
+mode** by default (``shared_lineage=True``, ``REPRO_SHARED_LINEAGE``):
+candidate lineages are compiled into one hash-consed DAG
+(:mod:`repro.prob.sharedag`) in which common subformulas exist once across
+answer tuples, and the scheduler expands the globally most valuable shared
+node per step.  Decided sets and exact confidences are bit-identical to the
+per-tuple mode; the number of logical refinement steps is what shrinks.
 """
 
 from __future__ import annotations
@@ -68,6 +76,7 @@ from repro.errors import (
 )
 from repro.algebra.columnar import DEFAULT_BATCH_ROWS, sort_batch
 from repro.prob.dtree import DEFAULT_MAX_STEPS, DTreeCache, refine_to_budget
+from repro.prob.sharedag import DEFAULT_MAX_NODES, SharedDTreeCache
 from repro.prob.formulas import DNF
 from repro.prob.lineage import (
     confidences_from_lineage,
@@ -233,6 +242,44 @@ def _default_workers() -> int:
         ) from None
 
 
+def _default_shared_lineage() -> bool:
+    """Shared-lineage default: the ``REPRO_SHARED_LINEAGE`` env var, else on.
+
+    ``REPRO_SHARED_LINEAGE=0`` is the CI hook that runs the whole tier-1
+    suite on the legacy per-tuple d-tree scheduler, keeping that path
+    exercised now that sharing is the serial default.
+    """
+    value = os.environ.get("REPRO_SHARED_LINEAGE", "").strip().lower()
+    if not value:
+        return True
+    if value in ("0", "false", "no", "off"):
+        return False
+    if value in ("1", "true", "yes", "on"):
+        return True
+    raise PlanningError(
+        f"REPRO_SHARED_LINEAGE must be a boolean flag (0/1), got {value!r}"
+    )
+
+
+def _default_dtree_cache_size() -> int:
+    """Lineage-cache node budget: the ``REPRO_DTREE_CACHE`` env var, else
+    :data:`repro.prob.sharedag.DEFAULT_MAX_NODES` nodes."""
+    value = os.environ.get("REPRO_DTREE_CACHE", "").strip()
+    if not value:
+        return DEFAULT_MAX_NODES
+    try:
+        size = int(value)
+    except ValueError:
+        raise PlanningError(
+            f"REPRO_DTREE_CACHE must be a positive integer node count, got {value!r}"
+        ) from None
+    if size < 1:
+        raise PlanningError(
+            f"REPRO_DTREE_CACHE must be a positive integer node count, got {value!r}"
+        )
+    return size
+
+
 @dataclass
 class _AnswerLineage:
     """A materialised answer reduced to what the lineage routes consume."""
@@ -278,17 +325,39 @@ class SproutEngine:
         count ``>= 1`` (``workers=0`` runs the serial cached-tree scheduler
         instead: same decided set — and exact-mode selected confidences —
         but step counts and non-selected bounds may differ).
+    shared_lineage
+        Whether the serial (``workers=0``) top-k/threshold scheduler
+        compiles candidate lineages into one shared hash-consed DAG
+        (:mod:`repro.prob.sharedag`) instead of per-tuple d-trees.  Default
+        on (overridable with the ``REPRO_SHARED_LINEAGE`` environment
+        variable): common subformulas are compiled once across answer
+        tuples and every refinement step tightens all tuples containing
+        the refined node.  Process workers always run isolated per-tuple
+        tasks — isolation is what makes parallel results placement- and
+        worker-count-independent — so the switch does not affect
+        ``workers >= 1`` scheduling or plain :meth:`evaluate` (whose
+        results stay bit-identical for every worker count).  Decided
+        top-k/threshold sets and exact confidences are bit-identical with
+        sharing on or off; only the work to reach them changes.
+    dtree_cache_size
+        Node budget for the engine-lifetime lineage cache (shared store or
+        per-tuple tree cache), default
+        :data:`repro.prob.sharedag.DEFAULT_MAX_NODES` or the
+        ``REPRO_DTREE_CACHE`` environment variable.  Eviction is by *node
+        count*, not entry count, so a handful of huge lineages cannot blow
+        memory.
 
     Each :meth:`evaluate` call may override ``execution``, ``confidence``,
     ``epsilon``, and ``workers``.
 
-    In-process evaluation (``workers=0``) keeps one
-    :class:`repro.prob.dtree.DTreeCache` for the engine's lifetime: the
-    top-k/threshold scheduler reuses and keeps refining the trees compiled
-    for previously seen lineage.  Parallel runs (and the plain d-tree
-    evaluation route under every worker count) instead compute each tuple in
-    isolation — that is what makes results independent of the worker count
-    and of evaluation history.
+    In-process evaluation (``workers=0``) keeps one lineage cache for the
+    engine's lifetime (:class:`repro.prob.sharedag.SharedDTreeCache`, or
+    :class:`repro.prob.dtree.DTreeCache` with ``shared_lineage=False``):
+    the top-k/threshold scheduler reuses and keeps refining the structures
+    compiled for previously seen lineage.  Parallel runs (and the plain
+    d-tree evaluation route under every worker count) instead compute each
+    tuple in isolation — that is what makes results independent of the
+    worker count and of evaluation history.
 
     Raises :class:`repro.errors.PlanningError` for invalid modes or
     parameters, and :class:`repro.errors.ParallelExecutionError` if a worker
@@ -306,6 +375,8 @@ class SproutEngine:
         monte_carlo_samples: Optional[int] = 10_000,
         seed: Optional[int] = 0,
         workers: Optional[int] = None,
+        shared_lineage: Optional[bool] = None,
+        dtree_cache_size: Optional[int] = None,
     ):
         if execution not in EXECUTION_MODES:
             raise PlanningError(
@@ -323,6 +394,14 @@ class SproutEngine:
             workers = _default_workers()
         if workers < 0:
             raise PlanningError(f"workers must be non-negative, got {workers}")
+        if shared_lineage is None:
+            shared_lineage = _default_shared_lineage()
+        if dtree_cache_size is None:
+            dtree_cache_size = _default_dtree_cache_size()
+        elif dtree_cache_size < 1:
+            raise PlanningError(
+                f"dtree_cache_size must be positive, got {dtree_cache_size}"
+            )
         self.database = database
         self.execution = execution
         self.batch_size = batch_size
@@ -332,7 +411,18 @@ class SproutEngine:
         self.monte_carlo_samples = monte_carlo_samples
         self.seed = seed
         self.workers = workers
-        self.dtree_cache = DTreeCache()
+        self.shared_lineage = bool(shared_lineage)
+        self.dtree_cache_size = dtree_cache_size
+        # The engine-lifetime lineage cache the serial top-k/threshold
+        # scheduler refines across calls.  Shared-lineage mode swaps the
+        # per-tuple tree cache for views over one hash-consed DAG; both are
+        # bounded by dtree_cache_size *nodes* (not entries), so huge
+        # lineages cannot blow memory through a small number of entries.
+        self.dtree_cache = (
+            SharedDTreeCache(max_nodes=dtree_cache_size)
+            if self.shared_lineage
+            else DTreeCache(max_nodes=dtree_cache_size)
+        )
         self.planner = JoinOrderPlanner(database)
         self._executors: Dict[int, ConfidenceExecutor] = {}
 
@@ -772,7 +862,15 @@ class SproutEngine:
         confidence: str,
         max_steps: Optional[int],
     ):
-        """The in-process route: live cached trees + crossing-pair scheduling."""
+        """The in-process route: live cached trees + bound-driven scheduling.
+
+        With ``shared_lineage`` on (the default) the candidates are views
+        over the engine's hash-consed lineage DAG and the scheduler picks
+        the globally most valuable shared node each step; with it off they
+        are independent per-tuple d-trees refined by crossing-pair chunks
+        (the pre-shared behaviour, kept selectable for comparison and via
+        ``REPRO_SHARED_LINEAGE=0``).
+        """
         trees = dtrees_from_dnfs(
             answer.lineage, answer.probabilities, cache=self.dtree_cache
         )
@@ -780,6 +878,7 @@ class SproutEngine:
         scheduler = RefinementScheduler(
             candidates,
             max_steps=self.dtree_max_steps if max_steps is None else max_steps,
+            store=self.dtree_cache.store if self.shared_lineage else None,
         )
         outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
         finishing_steps = 0
@@ -889,7 +988,12 @@ class SproutEngine:
             plan = build_answer_plan_batch(self.database, query, order, self.batch_size)
             plan = project_answer_columns(plan, query)
             batch = plan.to_batch(query.name)
-            clause_sets, probabilities = columnar_lineage(batch)
+            # In shared-lineage mode the clause frozensets are interned in
+            # the engine's store as they are extracted, so every recurrence
+            # of a clause — across rows, tuples, and later evaluations — is
+            # one shared object with one cached hash.
+            interner = self.dtree_cache.interner if self.shared_lineage else None
+            clause_sets, probabilities = columnar_lineage(batch, interner=interner)
             return _AnswerLineage(
                 schema=batch.schema,
                 order=order,

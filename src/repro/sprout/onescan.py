@@ -592,7 +592,9 @@ def streaming_scan_confidences(
 # ---------------------------------------------------------------------------
 
 
-def columnar_lineage(batch) -> Tuple[Dict[Tuple[object, ...], set], Dict[int, float]]:
+def columnar_lineage(
+    batch, interner=None
+) -> Tuple[Dict[Tuple[object, ...], set], Dict[int, float]]:
     """Extract per-tuple DNF lineage and the variable→probability map from a
     :class:`repro.algebra.columnar.ColumnBatch` without materialising rows.
 
@@ -604,6 +606,12 @@ def columnar_lineage(batch) -> Tuple[Dict[Tuple[object, ...], set], Dict[int, fl
     Used by the d-tree and parallel-confidence routes under
     ``execution="batch"``.  Returns ``(data tuple → set of clause frozensets,
     variable → probability)``.
+
+    With ``interner`` (a :class:`repro.prob.sharedag.ClauseInterner`) the
+    emitted clauses are interned ids-and-objects directly: every recurrence
+    of a clause — the same supplier/partsupp pair under many answer tuples —
+    is the *same* frozenset object registered once in the shared-lineage
+    store, so downstream hash-consing starts from pre-deduplicated parts.
     """
     from repro.errors import ProbabilityError
     from repro.prob.lineage import split_answer_columns
@@ -634,5 +642,6 @@ def columnar_lineage(batch) -> Tuple[Dict[Tuple[object, ...], set], Dict[int, fl
                     f"({existing} vs {probability})"
                 )
             probabilities[variable] = float(probability)
-        clauses.setdefault(tuple(data), set()).add(frozenset(clause))
+        interned = frozenset(clause) if interner is None else interner.intern(clause)
+        clauses.setdefault(tuple(data), set()).add(interned)
     return clauses, probabilities

@@ -59,7 +59,7 @@ import hashlib
 import itertools
 import random
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import nlargest
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -137,7 +137,6 @@ def derive_task_seed(
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class ConfidenceTask:
     """One picklable unit of confidence work: a single tuple's lineage.
 
@@ -158,21 +157,48 @@ class ConfidenceTask:
 
     ``probabilities`` must cover exactly the variables in ``clauses`` (keep
     the pickled payload proportional to the lineage, not the database).
+    A ``__slots__`` class rather than a dataclass: schedulers build one per
+    candidate per round, so the per-instance dict is measurable overhead.
     """
 
-    key: int
-    clauses: CanonicalClauses
-    probabilities: Dict[int, float]
-    epsilon: float = 0.0
-    relative: bool = False
-    max_steps: Optional[int] = DEFAULT_MAX_STEPS
-    monte_carlo_samples: Optional[int] = None
-    seed: Optional[int] = None
-    target_steps: Optional[int] = None
-    run_id: Optional[int] = None
+    __slots__ = (
+        "key",
+        "clauses",
+        "probabilities",
+        "epsilon",
+        "relative",
+        "max_steps",
+        "monte_carlo_samples",
+        "seed",
+        "target_steps",
+        "run_id",
+    )
+
+    def __init__(
+        self,
+        key: int,
+        clauses: CanonicalClauses,
+        probabilities: Dict[int, float],
+        epsilon: float = 0.0,
+        relative: bool = False,
+        max_steps: Optional[int] = DEFAULT_MAX_STEPS,
+        monte_carlo_samples: Optional[int] = None,
+        seed: Optional[int] = None,
+        target_steps: Optional[int] = None,
+        run_id: Optional[int] = None,
+    ):
+        self.key = key
+        self.clauses = clauses
+        self.probabilities = probabilities
+        self.epsilon = epsilon
+        self.relative = relative
+        self.max_steps = max_steps
+        self.monte_carlo_samples = monte_carlo_samples
+        self.seed = seed
+        self.target_steps = target_steps
+        self.run_id = run_id
 
 
-@dataclass
 class TaskOutcome:
     """What came back for one :class:`ConfidenceTask`.
 
@@ -189,15 +215,39 @@ class TaskOutcome:
     so it is *not* used for any decision.
     """
 
-    key: int
-    kind: str = "ok"
-    lower: float = 0.0
-    upper: float = 1.0
-    probability: float = 0.0
-    steps: int = 0
-    performed: int = 0
-    exact: bool = False
-    error: Optional[str] = None
+    __slots__ = (
+        "key",
+        "kind",
+        "lower",
+        "upper",
+        "probability",
+        "steps",
+        "performed",
+        "exact",
+        "error",
+    )
+
+    def __init__(
+        self,
+        key: int,
+        kind: str = "ok",
+        lower: float = 0.0,
+        upper: float = 1.0,
+        probability: float = 0.0,
+        steps: int = 0,
+        performed: int = 0,
+        exact: bool = False,
+        error: Optional[str] = None,
+    ):
+        self.key = key
+        self.kind = kind
+        self.lower = lower
+        self.upper = upper
+        self.probability = probability
+        self.steps = steps
+        self.performed = performed
+        self.exact = exact
+        self.error = error
 
 
 # ---------------------------------------------------------------------------
@@ -549,7 +599,6 @@ def compute_confidences(
 _RUN_IDS = itertools.count(1)
 
 
-@dataclass
 class ParallelCandidate:
     """One answer tuple competing for the result set, tracked by bounds only.
 
@@ -560,14 +609,27 @@ class ParallelCandidate:
     independent of answer-row order).
     """
 
-    data: DataTuple
-    clauses: CanonicalClauses
-    probabilities: Dict[int, float] = field(repr=False)
-    rank: int = 0
-    lower: float = 0.0
-    upper: float = 1.0
-    steps: int = 0
-    exact: bool = False
+    __slots__ = ("data", "clauses", "probabilities", "rank", "lower", "upper", "steps", "exact")
+
+    def __init__(
+        self,
+        data: DataTuple,
+        clauses: CanonicalClauses,
+        probabilities: Dict[int, float],
+        rank: int = 0,
+        lower: float = 0.0,
+        upper: float = 1.0,
+        steps: int = 0,
+        exact: bool = False,
+    ):
+        self.data = data
+        self.clauses = clauses
+        self.probabilities = probabilities
+        self.rank = rank
+        self.lower = lower
+        self.upper = upper
+        self.steps = steps
+        self.exact = exact
 
     @property
     def gap(self) -> float:
@@ -576,6 +638,12 @@ class ParallelCandidate:
     @property
     def midpoint(self) -> float:
         return 0.5 * (self.lower + self.upper)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelCandidate({self.data!r}, [{self.lower:.4f}, {self.upper:.4f}], "
+            f"steps={self.steps})"
+        )
 
 
 @dataclass

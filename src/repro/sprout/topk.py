@@ -23,23 +23,37 @@ many expansions, both loops terminate without any epsilon — the optional
 ``max_steps`` budget only guards against pathological lineage, reporting
 ``decided=False`` with the best partition so far instead of running away.
 
-This scheduler refines one gating tuple at a time on live, in-process trees
-(and is what ``SproutEngine(workers=0)`` runs, reusing the engine's d-tree
-cache across calls).  Its parallel counterpart,
+This scheduler refines gating tuples on live, in-process trees (and is what
+``SproutEngine(workers=0)`` runs, reusing the engine's lineage cache across
+calls).  It has two refinement modes:
+
+* **per-tuple** (``store=None``) — the candidates are independent
+  :class:`repro.prob.dtree.DTree`\\ s and each grant refines the wider
+  bracket of the crossing pair (top-k) or the widest straddler (threshold)
+  by a :data:`DEFAULT_CHUNK`-step quantum;
+* **shared-lineage** (``store`` set, the engine default) — the candidates
+  are :class:`repro.prob.sharedag.SharedDTree` views over one hash-consed
+  DAG, and each grant expands the single shared node with the largest
+  bound-width mass summed over *all* tuples gating the decision
+  (:meth:`repro.prob.sharedag.SharedLineageStore.refine_most_valuable`).
+  One logical step can tighten many brackets at once, so decisions take
+  measurably fewer steps on overlapping lineage.
+
+Its parallel counterpart,
 :class:`repro.sprout.parallel.ParallelRefinementScheduler`, generalises the
 single gating tuple to a *frontier batch* refined concurrently per round on
-a worker pool; both share the same decision rules and the per-grant step
-quantum :data:`DEFAULT_CHUNK`.
+a worker pool; all modes share the same decision rules.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import nlargest
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import PlanningError
 from repro.prob.dtree import DTree
+from repro.prob.sharedag import SharedDTree, SharedLineageStore
 
 __all__ = [
     "DEFAULT_CHUNK",
@@ -55,13 +69,21 @@ DataTuple = Tuple[object, ...]
 #: overshoots the decision by much.
 DEFAULT_CHUNK = 16
 
+#: Expansions granted between re-rankings in *shared* mode.  Shared grants
+#: target the globally most valuable node, so they need re-ranking far more
+#: often than per-tuple chunks — but once per expansion would make the
+#: O(n log k) ranking pass the dominant cost on large candidate sets.  A
+#: small batch keeps the step frugality while amortising the ranking.
+DEFAULT_SHARED_CHUNK = 4
+
 
 class TupleCandidate:
     """One answer tuple competing for the result set.
 
     Backed either by an exact confidence (``value``) — a degenerate bracket
-    that never refines — or by a live, resumable :class:`DTree` whose current
-    root bounds are the bracket.
+    that never refines — or by a live, resumable :class:`DTree` (or
+    :class:`repro.prob.sharedag.SharedDTree` view) whose current root bounds
+    are the bracket.
     """
 
     __slots__ = ("data", "tree", "value")
@@ -69,7 +91,7 @@ class TupleCandidate:
     def __init__(
         self,
         data: DataTuple,
-        tree: Optional[DTree] = None,
+        tree: Optional[Union[DTree, SharedDTree]] = None,
         value: Optional[float] = None,
     ):
         if (tree is None) == (value is None):
@@ -145,6 +167,13 @@ class RefinementScheduler:
         every tree closes after finitely many expansions; a finite budget
         that runs out yields ``decided=False`` with the best partition so
         far — never an exception.
+    store
+        The :class:`repro.prob.sharedag.SharedLineageStore` backing the
+        candidates' trees, when they are shared views.  Switches grants to
+        shared-node scheduling: instead of refining the crossing pair's
+        wider bracket by a chunk, each grant expands the one shared node
+        with the largest bound-width mass summed over the gating tuples —
+        and the step is counted once no matter how many tuples it tightens.
 
     :meth:`run_topk` and :meth:`run_threshold` return a
     :class:`SchedulerOutcome`; both raise
@@ -159,6 +188,7 @@ class RefinementScheduler:
         candidates: List[TupleCandidate],
         chunk: int = DEFAULT_CHUNK,
         max_steps: Optional[int] = None,
+        store: Optional[SharedLineageStore] = None,
     ):
         if chunk < 1:
             raise PlanningError(f"chunk must be positive, got {chunk}")
@@ -167,6 +197,7 @@ class RefinementScheduler:
         self.candidates = list(candidates)
         self.chunk = chunk
         self.max_steps = max_steps
+        self.store = store
         self.steps = 0
         # Rank tiebreak on the data tuple's repr, precomputed once as a
         # numeric index: candidate *order* differs between the row and batch
@@ -186,6 +217,33 @@ class RefinementScheduler:
         if self.max_steps is not None:
             budget = min(budget, self.max_steps - self.steps)
         self.steps += candidate.refine(budget)
+
+    def _grant_shared(self, gating: List[TupleCandidate]) -> int:
+        """A small batch of shared-node expansions for the gating set.
+
+        Each expansion targets the node with the largest summed frontier
+        value across the gating views — "bound-width mass over the tuples
+        it gates" — so a clause block recurring under many candidates is
+        refined once *for all of them*.  Up to :data:`DEFAULT_SHARED_CHUNK`
+        expansions run between re-rankings: frequent re-checks keep the
+        step count near-minimal without paying the full ranking pass on
+        every single expansion.  Returns the steps performed (0 only when
+        no gating view has an open frontier left).
+        """
+        views = [c.tree for c in gating if c.tree is not None]
+        if not views:
+            return 0
+        budget = DEFAULT_SHARED_CHUNK
+        if self.max_steps is not None:
+            budget = min(budget, self.max_steps - self.steps)
+        performed = 0
+        while performed < budget:
+            advanced = self.store.refine_most_valuable(views)
+            if advanced == 0:
+                break
+            performed += advanced
+        self.steps += performed
+        return performed
 
     def _exhausted(self) -> bool:
         return self.max_steps is not None and self.steps >= self.max_steps
@@ -233,6 +291,20 @@ class RefinementScheduler:
                 return self._outcome(selected, True)
             if self._exhausted():
                 return self._outcome(selected, False)
+            if self.store is not None:
+                # Shared mode: every non-exact bracket overlapping the
+                # contention window [weakest.lower, strongest.upper] gates
+                # the cut; expand the shared node those tuples value most.
+                gating = [
+                    c for c in selected if not c.exact and c.lower < strongest.upper
+                ]
+                gating += [
+                    c for c in rest if not c.exact and c.upper > weakest.lower
+                ]
+                if not gating or self._grant_shared(gating) == 0:
+                    # Nothing refinable gates the decision: bail rather than spin.
+                    return self._outcome(selected, False)
+                continue
             # Refine the wider bracket of the crossing pair.
             target = max((weakest, strongest), key=lambda c: c.gap)
             if target.gap <= 0.0:
@@ -263,4 +335,9 @@ class RefinementScheduler:
             if self._exhausted():
                 selected = [c for c in self.candidates if c.lower >= tau]
                 return self._outcome(selected, False)
+            if self.store is not None:
+                if self._grant_shared(straddling) == 0:
+                    selected = [c for c in self.candidates if c.lower >= tau]
+                    return self._outcome(selected, False)
+                continue
             self._grant(max(straddling, key=lambda c: c.gap))

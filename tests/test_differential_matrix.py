@@ -193,6 +193,74 @@ def test_configuration_agrees_with_enumeration(case, plan, execution, confidence
             assert lower - TOLERANCE <= expected <= upper + TOLERANCE
 
 
+#: The shared-lineage axis runs every plan style on the row backend for the
+#: exact mode, the d-tree-routed plans for the approx mode, and the columnar
+#: backend on the d-tree plan — the configurations whose serial scheduling
+#: the ``shared_lineage`` switch could conceivably touch.
+SHARED_AXIS = [
+    *((plan, "row", "exact") for plan in ("lazy", "eager", "hybrid", "lineage", "dtree")),
+    ("dtree", "batch", "exact"),
+    *((plan, "row", "approx") for plan in ("lazy", "dtree")),
+    ("dtree", "batch", "approx"),
+]
+
+
+@pytest.mark.parametrize("case", sorted(CORPUS))
+@pytest.mark.parametrize(
+    "plan,execution,confidence", SHARED_AXIS, ids=["-".join(c) for c in SHARED_AXIS]
+)
+def test_shared_lineage_axis_is_bit_identical(case, plan, execution, confidence):
+    """``shared_lineage`` on vs. off: plain evaluation must not move a bit.
+
+    Sharing compiles common subformulas once across tuples, but the
+    decomposition arithmetic is identical — so every confidence, bound, and
+    answer row must be float-for-float the same under both engines.
+    """
+    build_db, make_query = CORPUS[case]
+    results = {}
+    for shared in (False, True):
+        engine = SproutEngine(build_db(), epsilon=EPSILON, shared_lineage=shared)
+        result = engine.evaluate(
+            make_query(), plan=plan, execution=execution, confidence=confidence
+        )
+        results[shared] = result
+    assert results[True].confidences() == results[False].confidences()
+    assert results[True].bounds == results[False].bounds
+    assert list(results[True].relation.rows) == list(results[False].relation.rows)
+
+
+@pytest.mark.parametrize("case", sorted(CORPUS))
+@pytest.mark.parametrize("confidence", ["exact", "approx"])
+def test_topk_and_threshold_shared_axis(case, confidence):
+    """Top-k/threshold under ``shared_lineage`` on vs. off: same decided sets,
+    and (in exact mode) bit-identical selected confidences.
+
+    The two modes refine along different trajectories, so non-selected
+    bounds and step counts may differ — but both stop only on *proven*
+    decisions, which pins the answer sets to each other."""
+    build_db, make_query = CORPUS[case]
+    truth = _truth(case)
+    tau = sorted(truth.values())[len(truth) // 2] if truth else 0.5
+    top_confidences = {}
+    threshold_sets = {}
+    for shared in (False, True):
+        engine = SproutEngine(build_db(), shared_lineage=shared)
+        top = engine.evaluate_topk(make_query(), k=2, plan="dtree", confidence=confidence)
+        assert top.decided
+        top_confidences[shared] = top.confidences()
+        threshold = engine.evaluate_threshold(
+            make_query(), tau=tau, plan="dtree", confidence=confidence
+        )
+        assert threshold.decided
+        threshold_sets[shared] = frozenset(threshold.confidences())
+    assert set(top_confidences[True]) == set(top_confidences[False])
+    assert threshold_sets[True] == threshold_sets[False]
+    if confidence == "exact":
+        # Exact mode refines the winners to closure: the values themselves
+        # must agree to the bit, not just the sets.
+        assert top_confidences[True] == top_confidences[False]
+
+
 @pytest.mark.parametrize("case", sorted(CORPUS))
 def test_topk_and_threshold_agree_across_backends(case):
     """The bounded APIs return identical answer sets under row and batch."""

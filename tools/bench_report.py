@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Consolidated benchmark report: run the SF 0.001 suite, emit one JSON.
+
+Runs the shared-lineage and top-k pruning benchmarks at scale factor 0.001
+(one round each — the asserted quantities are deterministic step counts, not
+timings) and consolidates the per-test results into a single
+``BENCH_shared_lineage.json``:
+
+* ``benchmarks`` — per benchmark: the median wall time and every
+  ``extra_info`` counter the script recorded (refinement steps, cache hits,
+  speedup ratios);
+* ``summary`` — the headline numbers the perf trajectory tracks: logical
+  steps to decide the unsafe TPC-H brand top-10 under the shared-DAG
+  scheduler vs. the per-tuple schedulers, and the resulting ratios.
+
+CI uploads the file as an artifact on every push (``smoke-benchmark`` job),
+seeding a comparable series of step counts and wall times across commits.
+Run locally from the repository root:
+
+    python tools/bench_report.py [output.json]
+
+Exits non-zero if the underlying pytest run fails (the benchmarks assert
+the acceptance contract, so a regression fails the report too).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+BENCHMARKS = [
+    "benchmarks/bench_shared_lineage.py",
+    "benchmarks/bench_topk_pruning.py",
+]
+DEFAULT_OUTPUT = "BENCH_shared_lineage.json"
+
+
+def run_benchmarks(raw_json: Path) -> int:
+    environment = dict(os.environ)
+    environment.setdefault("REPRO_TPCH_SF", "0.001")
+    environment.setdefault("REPRO_BENCH_ROUNDS", "1")
+    pythonpath = str(REPO / "src")
+    if environment.get("PYTHONPATH"):
+        pythonpath += os.pathsep + environment["PYTHONPATH"]
+    environment["PYTHONPATH"] = pythonpath
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        *BENCHMARKS,
+        "--benchmark-min-rounds=1",
+        "--benchmark-disable-gc",
+        f"--benchmark-json={raw_json}",
+    ]
+    completed = subprocess.run(command, cwd=REPO, env=environment)
+    return completed.returncode
+
+
+def consolidate(raw_json: Path) -> dict:
+    raw = json.loads(raw_json.read_text(encoding="utf-8"))
+    benchmarks = []
+    for entry in raw.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        benchmarks.append(
+            {
+                "name": entry.get("name"),
+                "fullname": entry.get("fullname"),
+                "wall_seconds_median": stats.get("median"),
+                "wall_seconds_mean": stats.get("mean"),
+                "rounds": stats.get("rounds"),
+                "extra_info": entry.get("extra_info", {}),
+            }
+        )
+
+    def extra(name_fragment: str, key: str):
+        for bench in benchmarks:
+            if name_fragment in (bench["name"] or "") and key in bench["extra_info"]:
+                return bench["extra_info"][key]
+        return None
+
+    shared_steps = extra("test_topk_shared_vs_per_tuple_schedulers", "shared_steps")
+    per_tuple_steps = extra(
+        "test_topk_shared_vs_per_tuple_schedulers", "per_tuple_scheduler_steps"
+    )
+    legacy_steps = extra(
+        "test_topk_shared_vs_per_tuple_schedulers", "legacy_serial_steps"
+    )
+    summary = {
+        "workload": "unsafe TPC-H brand top-10, SF 0.001",
+        "topk_decision_steps": {
+            "shared_dag": shared_steps,
+            "per_tuple_scheduler": per_tuple_steps,
+            "legacy_serial": legacy_steps,
+        },
+        "speedup_vs_per_tuple_scheduler": (
+            per_tuple_steps / shared_steps if shared_steps and per_tuple_steps else None
+        ),
+        "speedup_vs_legacy_serial": (
+            legacy_steps / shared_steps if shared_steps and legacy_steps else None
+        ),
+        "canonical_cache_speedup": extra(
+            "test_canonical_clause_caching", "cache_speedup"
+        ),
+        "wall_seconds_total_median": sum(
+            bench["wall_seconds_median"]
+            for bench in benchmarks
+            if bench["wall_seconds_median"] is not None
+        ),
+        "machine_info": {
+            "cpu": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+            "cores": raw.get("machine_info", {}).get("cpu", {}).get("count"),
+        },
+        "python": raw.get("machine_info", {}).get("python_version"),
+    }
+    medians = [
+        bench["wall_seconds_median"]
+        for bench in benchmarks
+        if bench["wall_seconds_median"] is not None
+    ]
+    if medians:
+        summary["wall_seconds_median_of_medians"] = statistics.median(medians)
+    return {"summary": summary, "benchmarks": benchmarks}
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / DEFAULT_OUTPUT
+    with tempfile.TemporaryDirectory() as scratch:
+        raw_json = Path(scratch) / "raw-benchmark.json"
+        status = run_benchmarks(raw_json)
+        if status != 0:
+            print(f"FAIL benchmark run exited with status {status}")
+            return status
+        report = consolidate(raw_json)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", "utf-8")
+    steps = report["summary"]["topk_decision_steps"]
+    print(
+        f"bench report OK: shared={steps['shared_dag']} steps, "
+        f"per-tuple scheduler={steps['per_tuple_scheduler']}, "
+        f"legacy serial={steps['legacy_serial']} -> {output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
