@@ -13,9 +13,11 @@ and asserts the acceptance contract:
 
 * deciding the top-10 brand set takes **≥ 2× fewer logical refinement
   steps** than the PR 4 per-tuple scheduler (the round-based
-  frontier-batch ``ParallelRefinementScheduler``, measured at workers=1),
-  and no more steps than the legacy serial per-tuple crossing-pair
-  scheduler (``shared_lineage=False``);
+  frontier-batch ``ParallelRefinementScheduler``, measured at workers=1
+  with ``shared_lineage=False`` — with sharing on, parallel runs now take
+  the shared-store offload and match the serial step counts exactly), and
+  no more steps than the legacy serial per-tuple crossing-pair scheduler
+  (``shared_lineage=False``);
 * the decided sets and the exact confidences are **bit-identical** across
   all three paths — sharing changes the work, never the answer.
 
@@ -83,7 +85,7 @@ def decide_topk(db, workers=0, shared_lineage=True):
 
 def test_topk_shared_vs_per_tuple_schedulers(benchmark, shared_db):
     """The headline: ≥ 2× fewer logical steps than the per-tuple scheduler."""
-    per_tuple_parallel = decide_topk(shared_db, workers=1)
+    per_tuple_parallel = decide_topk(shared_db, workers=1, shared_lineage=False)
     per_tuple_serial = decide_topk(shared_db, shared_lineage=False)
     shared = run_benchmark(benchmark, decide_topk, shared_db)
     assert shared.decided and per_tuple_parallel.decided and per_tuple_serial.decided
@@ -122,7 +124,7 @@ def test_topk_exact_confidences_bit_identical(benchmark, shared_db):
     legacy = SproutEngine(shared_db, workers=0, shared_lineage=False).evaluate_topk(
         brand_query(), k=K
     )
-    with SproutEngine(shared_db, workers=1) as engine:
+    with SproutEngine(shared_db, workers=1, shared_lineage=False) as engine:
         parallel = engine.evaluate_topk(brand_query(), k=K)
     benchmark.extra_info["shared_steps"] = result.refine_steps
     benchmark.extra_info["legacy_steps"] = legacy.refine_steps
@@ -147,7 +149,7 @@ def test_threshold_shared_step_reduction(benchmark, shared_db):
             )
 
     legacy = decide(shared_lineage=False)
-    per_tuple_parallel = decide(workers=1)
+    per_tuple_parallel = decide(workers=1, shared_lineage=False)
     shared = run_benchmark(benchmark, decide)
     benchmark.extra_info["tau"] = TAU
     benchmark.extra_info["shared_steps"] = shared.refine_steps

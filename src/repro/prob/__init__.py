@@ -19,6 +19,11 @@ Everything about *probability*, independent of query processing:
   :class:`SharedDTree` views whose bounds tighten whenever any tuple
   refines a shared node.  What the serial top-k/threshold scheduler runs
   on by default (``shared_lineage=True``).
+* :mod:`repro.prob.backend` / :mod:`repro.prob.nodetable` — the columnar
+  refinement core: node kinds, child ranges, and bound columns in parallel
+  flat arrays, propagated in batched per-level passes (NumPy kernels when
+  available, a bit-identical ``array``-module sweep otherwise;
+  :func:`backend_info` reports which backend is active).
 * :mod:`repro.prob.worlds` — brute-force possible-worlds enumeration, the
   ground truth every other evaluator is differentially tested against.
 * :mod:`repro.prob.synthetic` — synthetic lineage generators for stress
@@ -28,6 +33,7 @@ Everything about *probability*, independent of query processing:
 evaluators and what the epsilon/bounds semantics guarantee.
 """
 
+from repro.prob.backend import HAS_NUMPY, backend_info
 from repro.prob.dtree import (
     ApproxResult,
     DTree,
@@ -78,6 +84,7 @@ __all__ = [
     "DTree",
     "DTreeCache",
     "Formula",
+    "HAS_NUMPY",
     "MonteCarloResult",
     "Or",
     "PossibleWorld",
@@ -91,6 +98,7 @@ __all__ = [
     "VariableInfo",
     "VariableRegistry",
     "approximate_confidences_from_lineage",
+    "backend_info",
     "bipartite_lineage",
     "confidences_by_enumeration",
     "confidences_from_lineage",

@@ -506,6 +506,17 @@ class DTree:
         return self.root.lower, self.root.upper
 
     @property
+    def lower(self) -> float:
+        """Current root lower bound (the tree-level surface schedulers use,
+        shared with :class:`repro.prob.sharedag.SharedDTree`, whose root is
+        a table nid rather than a node object)."""
+        return self.root.lower
+
+    @property
+    def upper(self) -> float:
+        return self.root.upper
+
+    @property
     def is_exact(self) -> bool:
         return isinstance(self.root, _Closed)
 
@@ -699,6 +710,10 @@ class DTreeCache:
         self.max_nodes = max_nodes
         self.hits = 0
         self.misses = 0
+        #: Entries dropped (LRU or node-budget) — cheap int, surfaced by the
+        #: engine's cache statistics so benchmarks can attribute warm-vs-cold
+        #: step counts instead of inferring them.
+        self.evictions = 0
         self._trees: Dict[FrozenSet[Clause], DTree] = {}
         #: Last-seen node count per entry plus the running total — node
         #: budget enforcement must be O(1) per access (cache hits are on
@@ -763,6 +778,7 @@ class DTreeCache:
     def _evict(self, key) -> None:
         self._trees.pop(key)
         self._total_nodes -= self._node_counts.pop(key, 0)
+        self.evictions += 1
 
     def _enforce_node_budget(self) -> None:
         """Evict (LRU) until the tracked node total fits ``max_nodes``.
@@ -786,6 +802,7 @@ class DTreeCache:
         self._probabilities.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 # ---------------------------------------------------------------------------

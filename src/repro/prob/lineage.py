@@ -179,12 +179,16 @@ def dtrees_from_dnfs(
 ) -> Dict[DataTuple, DTree]:
     """One (resumable) decomposition tree per entry of an extracted lineage map.
 
-    The entry point of the serial top-k/threshold scheduler: it needs live
+    The entry point of the top-k/threshold scheduler: it needs live
     :class:`repro.prob.dtree.DTree` handles it can refine selectively, rather
     than results refined to a uniform budget.  With ``cache`` set, tuples seen
-    in earlier evaluations come back with their refinement intact.  (The
-    parallel executor does *not* go through here — it ships the DNFs
-    themselves to its workers as picklable work units.)
+    in earlier evaluations come back with their refinement intact; a
+    :class:`repro.prob.sharedag.SharedDTreeCache` additionally hash-conses the
+    trees into one columnar node table
+    (:class:`repro.prob.nodetable.NodeTable`), which is how the shared-lineage
+    parallel path compiles lineage before exporting the store segment to its
+    worker.  (The per-tuple parallel executor does *not* go through here — it
+    ships the DNFs themselves to its workers as picklable work units.)
     """
     return {
         data: (

@@ -1,43 +1,57 @@
-"""Shared-lineage DAG compilation: compile common subformulas once, score per tuple.
+"""Shared-lineage DAG on a columnar node table: compile once, refine in passes.
 
 The per-tuple decomposition trees of :mod:`repro.prob.dtree` treat every
 answer tuple's lineage as an island: identical subformulas that occur under
 several tuples (the same supplier/partsupp clauses recurring under many
 brands in the TPC-H workloads) are Shannon-expanded and bounded once *per
 tuple*.  This module replaces the islands with one **hash-consed AND/OR DAG**
-per probability space:
+per probability space — and since PR 6 the DAG is not an object graph but a
+:class:`repro.prob.nodetable.NodeTable`: node kind, child ranges, levels and
+lower/upper bounds live in parallel flat arrays, a node is an integer id
+(``nid``, assigned in creation order — the deterministic scheduler
+tiebreak), and bound propagation runs as batched per-level passes over the
+columns (NumPy kernels when the ``fast`` extra is installed, plain loops
+otherwise; bit-identical either way).
 
 * every subformula (a subsumption-free positive DNF) is interned in a
   :class:`SharedLineageStore` keyed by its clause set, so structurally equal
-  subformulas are represented by a single :class:`SharedNode` no matter how
-  many tuples' lineages contain them;
-* each node memoises its current lower/upper probability bounds (degenerate
+  subformulas are represented by a single table row no matter how many
+  tuples' lineages contain them;
+* each row memoises its current lower/upper probability bounds (degenerate
   once the subformula is fully compiled, i.e. its exact probability);
-* a refinement step — an independent-partition ⊗/⊕ split, a
-  deterministic-OR, or a Shannon cobranch on a shared variable — mutates one
-  node *in place* and propagates the tightened bounds to **all** parents,
-  and therefore to every tuple whose lineage contains the refined node;
-* a :class:`SharedDTree` is a per-tuple *view* over the store: a root node
+* a refinement step — a Shannon cobranch on a shared variable — mutates one
+  row *in place* (a ``leaf`` becomes a ``det_or`` under the same nid) and
+  propagates the tightened bounds level by level to **all** ancestors, and
+  therefore to every tuple whose lineage contains the refined node;
+* a :class:`SharedDTree` is a per-tuple *view* over the store: a root nid
   plus a private influence-ordered frontier.  It is call-compatible with
-  :class:`repro.prob.dtree.DTree` (``bounds``/``gap``/``is_exact``/
-  ``refine``/``refine_to_target``/``result`` and a ``root`` with
-  ``lower``/``upper``), so the top-k/threshold scheduler and the exact
-  finishing driver :func:`repro.prob.dtree.refine_to_budget` run on views
-  unchanged.
+  :class:`repro.prob.dtree.DTree` (``lower``/``upper``, ``bounds``/``gap``/
+  ``is_exact``/``refine``/``refine_to_target``/``result``), so the
+  top-k/threshold scheduler and the exact finishing driver
+  :func:`repro.prob.dtree.refine_to_budget` run on views unchanged.
 
-The decomposition rules, branch-variable choice, and bound arithmetic are
-copied operation-for-operation from :mod:`repro.prob.dtree`, so the exact
-probability the DAG computes for a clause set is **bit-identical** to what a
-per-tuple d-tree computes for the same clause set — sharing changes how much
-work is performed, never a single float of the answer.
+The decomposition rules, branch-variable choice, and bound arithmetic mirror
+:mod:`repro.prob.dtree` operation for operation (the table's scalar and
+vectorized refresh kernels replicate ``combine_bounds`` exactly), so the
+exact probability the DAG computes for a clause set is **bit-identical** to
+what a per-tuple d-tree computes for the same clause set — sharing changes
+how much work is performed, never a single float of the answer.
+
+Because nids stay valid for the store's lifetime (the table is append-only;
+mutation is in place), a store is *shippable*: :meth:`export_segment` /
+:meth:`from_segment` serialise the columns plus the open-leaf DNFs and the
+intern map, which is how :mod:`repro.sprout.parallel` moves whole stores to
+worker processes instead of pickling per-tuple trees.
 
 :class:`ClauseInterner` deduplicates the clause frozensets themselves (the
 batch pipeline's :func:`repro.sprout.onescan.columnar_lineage` emits interned
 clauses directly), and :class:`SharedDTreeCache` is the engine-side drop-in
 for :class:`repro.prob.dtree.DTreeCache` when shared-lineage mode is on:
-same ``get``/``hits``/``misses``/``clear`` surface, node-count-bounded.
+same ``get``/``hits``/``misses``/``evictions``/``clear`` surface,
+node-count-bounded.
 
-See ``docs/shared_lineage.md`` for the user-facing guide.
+See ``docs/shared_lineage.md`` and ``docs/refinement_core.md`` for the
+user-facing guides.
 """
 
 from __future__ import annotations
@@ -47,24 +61,28 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.errors import ProbabilityError
 from repro.prob.dtree import (
-    _DET_OR,
-    _IND_AND,
-    _IND_OR,
     _REFRESH_BASE,
     _REFRESH_FACTOR,
     ApproxResult,
     _budget_met,
     _cofactor_true,
     branch_variable,
-    combine_bounds,
-    influence_weight,
+    canonical_clauses,
+    dnf_from_canonical,
     leaf_bounds,
 )
 from repro.prob.formulas import DNF, _connected_components
+from repro.prob.nodetable import (
+    KIND_CLOSED,
+    KIND_DET_OR,
+    KIND_IND_AND,
+    KIND_IND_OR,
+    KIND_LEAF,
+    NodeTable,
+)
 
 __all__ = [
     "ClauseInterner",
-    "SharedNode",
     "SharedLineageStore",
     "SharedDTree",
     "SharedDTreeCache",
@@ -75,13 +93,6 @@ Clause = FrozenSet[int]
 #: Node-count budget after which :class:`SharedDTreeCache` resets its store's
 #: intern table (live views keep working; see the cache docstring).
 DEFAULT_MAX_NODES = 2_000_000
-
-# The inner-node kinds (⊗/⊕/⊙) are imported from :mod:`repro.prob.dtree`,
-# whose module-level ``combine_bounds``/``influence_weight``/``leaf_bounds``/
-# ``branch_variable`` implement the *one* copy of the bound arithmetic both
-# engines run — the bit-identity contract is structural, not by convention.
-_CLOSED = "closed"
-_LEAF = "leaf"
 
 
 class ClauseInterner:
@@ -124,63 +135,23 @@ class ClauseInterner:
         return index
 
 
-class SharedNode:
-    """One interned subformula of the shared DAG.
-
-    ``kind`` is ``closed`` (bounds degenerate at the exact probability),
-    ``leaf`` (an open DNF with the cheap construction bounds of
-    :class:`repro.prob.dtree._Leaf`), or one of the compiled inner kinds
-    (``ind_and`` ⊗, ``ind_or`` ⊕, ``det_or`` ⊙).  A Shannon expansion
-    mutates a ``leaf`` into a ``det_or`` *in place*, so every parent —
-    across all tuples — observes the refinement without any re-linking.
-    ``parents`` holds ``(parent, slot)`` backlinks for bound propagation;
-    ``seq`` is the deterministic creation ticket used as a scheduler
-    tiebreak.
-    """
-
-    __slots__ = ("kind", "key", "dnf", "children", "weights", "parents", "lower", "upper", "seq")
-
-    def __init__(self, kind: str, seq: int, key: Optional[FrozenSet[Clause]] = None):
-        self.kind = kind
-        self.key = key
-        self.dnf: Optional[DNF] = None
-        self.children: Optional[List["SharedNode"]] = None
-        self.weights: Optional[List[float]] = None
-        self.parents: List[Tuple["SharedNode", int]] = []
-        self.lower = 0.0
-        self.upper = 1.0
-        self.seq = seq
-
-    @property
-    def gap(self) -> float:
-        return self.upper - self.lower
-
-    def child_weight(self, slot: int) -> float:
-        """Midpoint-linearised derivative w.r.t. child ``slot`` (as in d-trees)."""
-        return influence_weight(self.kind, self.children, self.weights, slot)
-
-    def refresh_bounds(self) -> None:
-        """Recompute bounds from the children (the d-tree arithmetic, shared)."""
-        self.lower, self.upper = combine_bounds(self.kind, self.children, self.weights)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SharedNode({self.kind}, [{self.lower:.4f}, {self.upper:.4f}])"
-
-
 class SharedLineageStore:
     """The hash-consed AND/OR DAG shared by every tuple of one probability space.
 
+    Nodes live in a columnar :class:`~repro.prob.nodetable.NodeTable`;
     ``build`` interns subformulas with structural deduplication (two DNFs
-    with the same clause set map to the same node object), ``expand_leaf``
-    performs one Shannon cobranch and propagates the tightened bounds to all
-    ancestors across all containing tuples, and ``refine_most_valuable``
-    implements the scheduler primitive: among the frontiers of a set of
-    gating views, expand the single node with the largest bound-width mass
-    summed over the tuples it gates.
+    with the same clause set map to the same nid), ``expand_leaf`` performs
+    one Shannon cobranch and propagates the tightened bounds to all
+    ancestors — one batched pass per topological level — and
+    ``refine_most_valuable`` implements the scheduler primitive: among the
+    frontiers of a set of gating views, expand the single node with the
+    largest bound-width mass summed over the tuples it gates.
 
     ``steps`` counts the store-global **logical refinement steps** — each
-    Shannon expansion once, no matter how many tuples it serves.  All
-    lookups must use probabilities from one probabilistic database
+    Shannon expansion once, no matter how many tuples it serves.
+    ``node_count`` counts nids created since the last :meth:`reset_nodes`
+    (the budget quantity); ``len(store.table)`` is the total table length.
+    All lookups must use probabilities from one probabilistic database
     (:meth:`add_probabilities` guards this, like
     :class:`repro.prob.dtree.DTreeCache` does).
     """
@@ -189,9 +160,11 @@ class SharedLineageStore:
         self,
         interner: Optional[ClauseInterner] = None,
         max_nodes: Optional[int] = None,
+        vectorize: Optional[bool] = None,
     ):
         self.probabilities: Dict[int, float] = {}
         self.interner = interner if interner is not None else ClauseInterner()
+        self.table = NodeTable(vectorize=vectorize)
         self.steps = 0
         self.node_count = 0
         #: Intern-table budget enforced *during refinement* too: every leaf
@@ -201,11 +174,15 @@ class SharedLineageStore:
         self.max_nodes = max_nodes
         #: Incremented by every :meth:`reset_nodes` — holders of node
         #: references (the view cache) watch this to drop structures from
-        #: earlier epochs, so budget resets actually release memory instead
-        #: of leaving every epoch pinned by a cached view.
+        #: earlier epochs.  The columnar table itself is append-only for the
+        #: store's lifetime; rows are reclaimed when the owning cache's
+        #: ``clear()`` swaps in a fresh store.
         self.reset_epoch = 0
-        self._seq = 0
-        self._nodes: Dict[FrozenSet[Clause], SharedNode] = {}
+        self._nodes: Dict[FrozenSet[Clause], int] = {}
+        #: Open-leaf payloads: the DNF a leaf nid will cobranch on.  Popped
+        #: on expansion; deliberately *not* dropped by :meth:`reset_nodes`,
+        #: because live views keep refining leaves from earlier epochs.
+        self._leaf_dnf: Dict[int, DNF] = {}
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -231,18 +208,15 @@ class SharedLineageStore:
 
     # -- hash-consed construction ------------------------------------------
 
-    def _new_node(self, kind: str, key: Optional[FrozenSet[Clause]] = None) -> SharedNode:
-        self._seq += 1
+    def _new_node(self, kind: int, lower: float = 0.0, upper: float = 1.0) -> int:
         self.node_count += 1
-        return SharedNode(kind, self._seq, key)
+        return self.table.new_node(kind, lower, upper)
 
-    def _constant(self, value: float) -> SharedNode:
-        node = self._new_node(_CLOSED)
-        node.lower = node.upper = value
-        return node
+    def _constant(self, value: float) -> int:
+        return self._new_node(KIND_CLOSED, value, value)
 
-    def build(self, dnf: DNF) -> SharedNode:
-        """The interned node for a subsumption-free ``dnf`` (built on a miss).
+    def build(self, dnf: DNF) -> int:
+        """The interned nid for a subsumption-free ``dnf`` (built on a miss).
 
         Mirrors ``DTree._build`` rule for rule: constants, single clause,
         independent-and factoring of the common variable prefix,
@@ -255,150 +229,105 @@ class SharedLineageStore:
             return self._constant(1.0)
         if dnf.is_false():
             return self._constant(0.0)
-        node = self._nodes.get(dnf.clauses)
-        if node is not None:
-            return node
+        nid = self._nodes.get(dnf.clauses)
+        if nid is not None:
+            return nid
         clauses = list(dnf.clauses)
         if len(clauses) == 1:
             weight = 1.0
             for variable in clauses[0]:
                 weight *= self.probabilities[variable]
-            node = self._new_node(_CLOSED, key=dnf.clauses)
-            node.lower = node.upper = weight
-            self._nodes[dnf.clauses] = node
-            return node
+            nid = self._new_node(KIND_CLOSED, weight, weight)
+            self._nodes[dnf.clauses] = nid
+            return nid
         common = frozenset.intersection(*clauses)
         if common:
             weight = 1.0
             for variable in common:
                 weight *= self.probabilities[variable]
             rest = DNF(clause - common for clause in clauses)
-            node = self._inner(_IND_AND, [self._constant(weight), self.build(rest)], dnf.clauses)
-            return node
+            return self._inner(
+                KIND_IND_AND, [self._constant(weight), self.build(rest)], dnf.clauses
+            )
         components = _connected_components(dnf)
         if len(components) > 1:
             children = [self.build(component) for component in components]
-            return self._inner(_IND_OR, children, dnf.clauses)
-        node = self._leaf(dnf)
-        self._nodes[dnf.clauses] = node
-        return node
+            return self._inner(KIND_IND_OR, children, dnf.clauses)
+        nid = self._leaf(dnf)
+        self._nodes[dnf.clauses] = nid
+        return nid
 
     def _inner(
         self,
-        kind: str,
-        children: List[SharedNode],
+        kind: int,
+        children: List[int],
         key: FrozenSet[Clause],
         weights: Optional[Sequence[float]] = None,
-    ) -> SharedNode:
-        node = self._new_node(kind, key=key)
-        node.children = list(children)
-        node.weights = list(weights) if weights is not None else None
-        for slot, child in enumerate(node.children):
-            child.parents.append((node, slot))
-        node.refresh_bounds()
-        self._nodes[key] = node
-        return node
+    ) -> int:
+        nid = self._new_node(kind)
+        self.table.attach_children(nid, children, weights)
+        self.table.refresh_one(nid)
+        self._nodes[key] = nid
+        return nid
 
-    def _leaf(self, dnf: DNF) -> SharedNode:
+    def _leaf(self, dnf: DNF) -> int:
         """An open leaf with the construction bounds of ``dtree._Leaf``."""
-        node = self._new_node(_LEAF, key=dnf.clauses)
-        node.dnf = dnf
-        node.lower, node.upper = leaf_bounds(dnf, self.probabilities)
-        return node
+        lower, upper = leaf_bounds(dnf, self.probabilities)
+        nid = self._new_node(KIND_LEAF, lower, upper)
+        self._leaf_dnf[nid] = dnf
+        return nid
 
-    def build_root(self, dnf: DNF) -> SharedNode:
-        """The interned root for a raw lineage DNF (minimised, like ``DTree``)."""
+    def build_root(self, dnf: DNF) -> int:
+        """The interned root nid for a raw lineage DNF (minimised, like ``DTree``)."""
         return self.build(dnf.minimised())
 
     # -- shared refinement --------------------------------------------------
 
-    def expand_leaf(self, leaf: SharedNode) -> None:
-        """One Shannon cobranch: mutate ``leaf`` into a ⊙ node, propagate bounds.
+    def expand_leaf(self, leaf: int) -> None:
+        """One Shannon cobranch: mutate leaf ``nid`` into a ⊙ row, propagate bounds.
 
         The branch variable is the most frequent one (smallest id on ties) —
         the deterministic rule of ``DTree._expand_leaf`` — so the compiled
         shape, and with it the exact probability, of a clause set is the
         same as the per-tuple engine's.  The in-place mutation is what makes
         the refinement *shared*: every parent, under every tuple, sees the
-        tightened bounds via :meth:`_propagate`.
+        tightened bounds via the per-level propagation pass.
         """
-        if leaf.kind != _LEAF:
+        table = self.table
+        if table.kind[leaf] != KIND_LEAF:
             raise ProbabilityError("expand_leaf() called on a non-leaf shared node")
-        dnf = leaf.dnf
+        dnf = self._leaf_dnf.pop(leaf)
         branch = branch_variable(dnf)
         p = self.probabilities[branch]
         positive = _cofactor_true(dnf, branch)
         negative = dnf.condition(branch, False)
         children = [self.build(positive), self.build(negative)]
-        leaf.kind = _DET_OR
-        leaf.dnf = None
-        leaf.children = children
-        leaf.weights = [p, 1.0 - p]
-        for slot, child in enumerate(children):
-            child.parents.append((leaf, slot))
+        table.kind[leaf] = KIND_DET_OR
+        table.attach_children(leaf, children, [p, 1.0 - p])
         self.steps += 1
-        self._propagate(leaf)
+        table.propagate_from(leaf)
         if self.max_nodes is not None and self.node_count > self.max_nodes:
             # Keep the documented bound even for one giant compilation: the
-            # table is a pure accelerator, so dropping it mid-refinement
-            # costs only future sharing — live nodes stay referenced by
-            # their parents and views.
+            # intern table is a pure accelerator, so dropping it
+            # mid-refinement costs only future sharing — live nids stay
+            # valid in the columnar table.
             self.reset_nodes()
-
-    def _propagate(self, start: SharedNode) -> None:
-        """Refresh ``start`` and every ancestor, children before parents.
-
-        Collects the ancestor closure over the ``parents`` backlinks, then
-        refreshes each node exactly once in topological order (a node waits
-        for its in-closure children), so diamonds in the DAG cost one
-        recomputation instead of one per path.
-        """
-        ancestors: Dict[int, SharedNode] = {}
-        stack = [start]
-        while stack:
-            node = stack.pop()
-            if id(node) in ancestors:
-                continue
-            ancestors[id(node)] = node
-            for parent, _slot in node.parents:
-                stack.append(parent)
-        waiting = {nid: 0 for nid in ancestors}
-        for node in ancestors.values():
-            for child in node.children or ():
-                if id(child) in ancestors:
-                    waiting[id(node)] += 1
-        ready = [node for node in ancestors.values() if waiting[id(node)] == 0]
-        changed = {id(start)}
-        while ready:
-            node = ready.pop()
-            if node is start or any(
-                id(child) in changed for child in node.children or ()
-            ):
-                before = (node.lower, node.upper)
-                node.refresh_bounds()
-                if (node.lower, node.upper) != before:
-                    changed.add(id(node))
-            for parent, _slot in node.parents:
-                if id(parent) in ancestors:
-                    waiting[id(parent)] -= 1
-                    if waiting[id(parent)] == 0:
-                        ready.append(parent)
 
     def refine_most_valuable(self, views: Sequence["SharedDTree"]) -> int:
         """Expand the shared node with the largest summed frontier value.
 
         The scheduler primitive: each gating view contributes its current
         most influential open leaf (influence × bound gap, measured against
-        *that view's* root); contributions to the same shared node add up —
+        *that view's* root); contributions to the same shared nid add up —
         the "bound-width mass summed over the tuples it gates".  The winning
         node is expanded once, which tightens every contributing tuple (and
         any non-gating tuple that shares it) in the same logical step.
-        Returns the number of expansions performed (0 when no view has an
-        open frontier left).
+        Ties break towards the oldest nid (creation order), keeping the
+        choice deterministic.  Returns the number of expansions performed
+        (0 when no view has an open frontier left).
         """
         contributions: Dict[int, List[Tuple["SharedDTree", float]]] = {}
         scores: Dict[int, float] = {}
-        leaves: Dict[int, SharedNode] = {}
         # Candidates with identical lineage share one view object; process
         # it once or its influence would double-count (and its heap would
         # absorb the expansion twice).
@@ -411,45 +340,88 @@ class SharedLineageStore:
             if entry is None:
                 continue
             influence, weight, leaf = entry
-            leaves[id(leaf)] = leaf
-            scores[id(leaf)] = scores.get(id(leaf), 0.0) + influence
-            contributions.setdefault(id(leaf), []).append((view, weight))
-        if not leaves:
+            scores[leaf] = scores.get(leaf, 0.0) + influence
+            contributions.setdefault(leaf, []).append((view, weight))
+        if not scores:
             return 0
-        best = max(leaves, key=lambda nid: (scores[nid], -leaves[nid].seq))
-        leaf = leaves[best]
-        self.expand_leaf(leaf)
+        best = max(scores, key=lambda nid: (scores[nid], -nid))
+        self.expand_leaf(best)
         for view, weight in contributions[best]:
-            view._absorb_expansion(leaf, weight)
+            view._absorb_expansion(best, weight)
         return 1
 
     def reset_nodes(self) -> None:
         """Drop the intern table and the clause interner (pure accelerators —
-        live views keep their node references and stay fully functional; new
-        builds and extractions start fresh).  Resetting both is what keeps
-        the engine's memory bounded by the node budget: the interner grows
-        with every distinct clause ever extracted, so it must not outlive
-        the nodes built from it."""
+        live views keep their nids and stay fully functional; new builds and
+        extractions start fresh).  Resetting both is what keeps the intern
+        structures bounded by the node budget: the interner grows with every
+        distinct clause ever extracted, so it must not outlive the nodes
+        built from it.  The columnar rows themselves are reclaimed when the
+        owning cache's ``clear()`` swaps in a fresh store."""
         self._nodes = {}
         self.node_count = 0
         self.reset_epoch += 1
         self.interner = ClauseInterner()
+
+    # -- store shipping -----------------------------------------------------
+
+    def export_segment(self) -> dict:
+        """The store's full state as a picklable segment.
+
+        Ships the columnar table as-is (flat arrays pickle cheaply — this is
+        the payload the parallel scheduler sends instead of per-tuple
+        trees), plus the open-leaf DNFs and the intern map in canonical
+        clause form (``frozenset`` iteration order is salted per process, so
+        raw frozensets must not cross the process boundary).
+        """
+        return {
+            "table": self.table,
+            "leaves": [
+                (nid, canonical_clauses(dnf)) for nid, dnf in self._leaf_dnf.items()
+            ],
+            "interned": [
+                (tuple(sorted(tuple(sorted(clause)) for clause in key)), nid)
+                for key, nid in self._nodes.items()
+            ],
+            "probabilities": dict(self.probabilities),
+            "steps": self.steps,
+            "node_count": self.node_count,
+            "max_nodes": self.max_nodes,
+        }
+
+    @classmethod
+    def from_segment(cls, segment: dict) -> "SharedLineageStore":
+        """Rebuild a store around a shipped segment (the worker-side inverse
+        of :meth:`export_segment`): same table, same nids, same intern map —
+        refinement continues exactly where the exporting process stood."""
+        store = cls(max_nodes=segment["max_nodes"])
+        store.table = segment["table"]
+        store.probabilities = dict(segment["probabilities"])
+        store.steps = segment["steps"]
+        store.node_count = segment["node_count"]
+        store._nodes = {
+            frozenset(frozenset(clause) for clause in clauses): nid
+            for clauses, nid in segment["interned"]
+        }
+        store._leaf_dnf = {
+            nid: dnf_from_canonical(clauses) for nid, clauses in segment["leaves"]
+        }
+        return store
 
 
 class SharedDTree:
     """A per-tuple view over a :class:`SharedLineageStore`.
 
     Call-compatible with :class:`repro.prob.dtree.DTree` where the engine
-    and schedulers touch it: ``root.lower``/``root.upper``, ``bounds()``,
-    ``gap``, ``is_exact``, ``steps``, ``refine()``, ``refine_to_target()``
-    and ``result()``.  The view owns nothing but a frontier: a lazy
-    max-heap of (influence, leaf) entries where influence is the
-    midpoint-linearised derivative of *this view's root* with respect to
-    the leaf, summed over all DAG paths.  Refinement performed through any
-    other view of the same store is observed for free — entries whose leaf
-    was expanded elsewhere are skipped on pop, and the geometric frontier
-    rebuild (same schedule as ``DTree``) re-measures influence against the
-    shared state.
+    and schedulers touch it: ``lower``/``upper``, ``bounds()``, ``gap``,
+    ``is_exact``, ``steps``, ``refine()``, ``refine_to_target()`` and
+    ``result()``.  The view owns nothing but a frontier: a lazy max-heap of
+    (influence, leaf nid) entries where influence is the midpoint-linearised
+    derivative of *this view's root* with respect to the leaf, summed over
+    all DAG paths.  Refinement performed through any other view of the same
+    store is observed for free — entries whose leaf was expanded elsewhere
+    are skipped on pop, and the geometric frontier rebuild (same schedule as
+    ``DTree``) re-measures influence against the shared table state.
     """
 
     __slots__ = ("store", "root", "steps", "_heap", "_weights", "_counter", "_next_rebuild")
@@ -463,73 +435,45 @@ class SharedDTree:
                 raise ProbabilityError(f"no probability for variable {variable}")
         self.store = store
         self.root = store.build_root(dnf)
+        self._init_frontier()
+
+    @classmethod
+    def from_root(cls, store: SharedLineageStore, root: int) -> "SharedDTree":
+        """A view over an already-built root nid (no compilation performed).
+
+        The worker-side constructor for shipped store segments: the driver
+        compiled the roots, the segment carried the table, and the frontier
+        is rebuilt here from the current column state — which is exactly
+        what a fresh in-process view over the same store would compute.
+        """
+        view = object.__new__(cls)
+        view.store = store
+        view.root = root
+        view._init_frontier()
+        return view
+
+    def _init_frontier(self) -> None:
         self.steps = 0
-        self._heap: List[Tuple[float, int, float, SharedNode]] = []
-        #: Current total enqueued influence weight per open leaf (by id).
-        #: A leaf can be (re-)exposed by several expansions; entries whose
-        #: recorded weight no longer matches this total are stale and are
-        #: skipped on pop, so each leaf is ranked by its *summed* influence
-        #: rather than split across duplicate entries.
+        self._heap: List[Tuple[float, int, float, int]] = []
         self._weights: Dict[int, float] = {}
         self._counter = 0
-        self._next_rebuild = int(store.steps * _REFRESH_FACTOR) + _REFRESH_BASE
+        self._next_rebuild = int(self.store.steps * _REFRESH_FACTOR) + _REFRESH_BASE
         self._rebuild_frontier()
 
     # -- frontier maintenance ----------------------------------------------
-
-    def _open_leaf_weights(
-        self, start: SharedNode, start_weight: float
-    ) -> List[Tuple[SharedNode, float]]:
-        """Open leaves under ``start`` with their total downward influence.
-
-        Downward weights are accumulated in topological order over the
-        reachable sub-DAG, so a leaf shared by several paths gets the *sum*
-        of its path derivatives in one entry (a per-path walk would be
-        exponential on diamond-heavy DAGs).
-        """
-        nodes: Dict[int, SharedNode] = {id(start): start}
-        indegree: Dict[int, int] = {id(start): 0}
-        stack = [start]
-        while stack:
-            node = stack.pop()
-            for child in node.children or ():
-                if id(child) not in nodes:
-                    nodes[id(child)] = child
-                    indegree[id(child)] = 0
-                    stack.append(child)
-        for node in nodes.values():
-            for child in node.children or ():
-                indegree[id(child)] += 1
-        accumulated: Dict[int, float] = {nid: 0.0 for nid in nodes}
-        accumulated[id(start)] = start_weight
-        ready = [start]
-        found: List[Tuple[SharedNode, float]] = []
-        while ready:
-            node = ready.pop()
-            weight = accumulated[id(node)]
-            if node.kind == _LEAF:
-                if node.upper > node.lower:
-                    found.append((node, weight))
-                continue
-            for slot, child in enumerate(node.children or ()):
-                accumulated[id(child)] += weight * node.child_weight(slot)
-                indegree[id(child)] -= 1
-                if indegree[id(child)] == 0:
-                    ready.append(child)
-        return found
 
     def _rebuild_frontier(self) -> None:
         """Recompute every open leaf's influence on this root from scratch."""
         self._heap = []
         self._weights = {}
         self._counter = 0
-        root = self.root
-        if root.upper == root.lower:
+        table = self.store.table
+        if table.upper[self.root] == table.lower[self.root]:
             return
-        for leaf, weight in self._open_leaf_weights(root, 1.0):
+        for leaf, weight in table.open_leaf_influences(self.root, 1.0):
             self._push(leaf, weight)
 
-    def _push(self, leaf: SharedNode, weight: float) -> None:
+    def _push(self, leaf: int, weight: float) -> None:
         """Add ``weight`` to the leaf's total influence and (re-)enqueue it.
 
         The entry records the new total; any earlier entry for the same
@@ -537,32 +481,34 @@ class SharedDTree:
         the frontier ranks each leaf by its summed influence instead of
         splitting it across duplicate entries.
         """
-        total = self._weights.get(id(leaf), 0.0) + weight
-        self._weights[id(leaf)] = total
+        total = self._weights.get(leaf, 0.0) + weight
+        self._weights[leaf] = total
         self._counter += 1
-        priority = -(total * (leaf.upper - leaf.lower))
+        table = self.store.table
+        priority = -(total * (table.upper[leaf] - table.lower[leaf]))
         heappush(self._heap, (priority, self._counter, total, leaf))
 
-    def _entry_stale(self, weight: float, leaf: SharedNode) -> bool:
+    def _entry_stale(self, weight: float, leaf: int) -> bool:
+        table = self.store.table
         return (
-            leaf.kind != _LEAF
-            or leaf.upper == leaf.lower
-            or self._weights.get(id(leaf)) != weight
+            table.kind[leaf] != KIND_LEAF
+            or table.upper[leaf] == table.lower[leaf]
+            or self._weights.get(leaf) != weight
         )
 
-    def _absorb_expansion(self, expanded: SharedNode, weight: float) -> None:
-        """After ``expanded`` (this view's frontier top) became a ⊙ node,
+    def _absorb_expansion(self, expanded: int, weight: float) -> None:
+        """After ``expanded`` (this view's frontier top) became a ⊙ row,
         enqueue the open leaves now below it, at path weights relative to
         this root (deduplicated across diamond paths)."""
-        if self._heap and self._heap[0][3] is expanded:
+        if self._heap and self._heap[0][3] == expanded:
             heappop(self._heap)
-        self._weights.pop(id(expanded), None)
+        self._weights.pop(expanded, None)
         self.steps += 1
-        for leaf, acc in self._open_leaf_weights(expanded, weight):
+        for leaf, acc in self.store.table.open_leaf_influences(expanded, weight):
             self._push(leaf, acc)
 
-    def _peek(self) -> Optional[Tuple[float, float, SharedNode]]:
-        """The view's current best (influence, weight, leaf), or None.
+    def _peek(self) -> Optional[Tuple[float, float, int]]:
+        """The view's current best (influence, weight, leaf nid), or None.
 
         Pops entries whose leaf was expanded (possibly by another view) or
         closed in the meantime; rebuilds the frontier once if the heap runs
@@ -584,23 +530,37 @@ class SharedDTree:
                     continue
                 return (-priority, weight, leaf)
             if attempt == 0:
-                if self.root.upper == self.root.lower:
+                if self.upper == self.lower:
                     return None
                 self._rebuild_frontier()
         return None
 
     # -- DTree-compatible surface -------------------------------------------
 
+    @property
+    def lower(self) -> float:
+        return self.store.table.lower[self.root]
+
+    @property
+    def upper(self) -> float:
+        return self.store.table.upper[self.root]
+
     def bounds(self) -> Tuple[float, float]:
-        return self.root.lower, self.root.upper
+        table = self.store.table
+        return table.lower[self.root], table.upper[self.root]
 
     @property
     def is_exact(self) -> bool:
-        return self.root.kind == _CLOSED or self.root.upper == self.root.lower
+        table = self.store.table
+        return (
+            table.kind[self.root] == KIND_CLOSED
+            or table.upper[self.root] == table.lower[self.root]
+        )
 
     @property
     def gap(self) -> float:
-        return self.root.upper - self.root.lower
+        table = self.store.table
+        return table.upper[self.root] - table.lower[self.root]
 
     def expand_once(self) -> bool:
         """Expand this view's most influential open leaf; False when closed.
@@ -630,9 +590,7 @@ class SharedDTree:
         """
         performed = 0
         while steps is None or performed < steps:
-            if self.is_exact or _budget_met(
-                self.root.lower, self.root.upper, epsilon, relative
-            ):
+            if self.is_exact or _budget_met(self.lower, self.upper, epsilon, relative):
                 break
             if not self.expand_once():
                 break
@@ -659,25 +617,27 @@ class SharedDTreeCache:
 
     The drop-in replacement for :class:`repro.prob.dtree.DTreeCache` when
     the engine runs with ``shared_lineage=True``: the same
-    ``get(dnf, probabilities)`` / ``hits`` / ``misses`` / ``clear()``
-    surface (so :func:`repro.prob.lineage.dtrees_from_dnfs` and the
-    engine's cache-statistics consumers work unchanged), but entries are
-    views over one hash-consed DAG, so refinement performed for one tuple
-    tightens every other tuple sharing subformulas — across calls, too.
+    ``get(dnf, probabilities)`` / ``hits`` / ``misses`` / ``evictions`` /
+    ``clear()`` surface (so :func:`repro.prob.lineage.dtrees_from_dnfs` and
+    the engine's cache-statistics consumers work unchanged), but entries are
+    views over one hash-consed columnar DAG, so refinement performed for one
+    tuple tightens every other tuple sharing subformulas — across calls, too.
 
     Memory is bounded by **node count**, not entry count: when the store's
     intern table exceeds ``max_nodes`` interned nodes it is reset and the
     view table cleared.  Eviction never invalidates a live view — views
-    hold direct node references and keep refining correctly; only the
-    *sharing* with future builds is lost (the table is a pure accelerator).
-    ``max_entries`` additionally bounds the view table, LRU, for parity
-    with the legacy cache.
+    hold nids into the append-only table and keep refining correctly; only
+    the *sharing* with future builds is lost (the intern table is a pure
+    accelerator).  ``max_entries`` additionally bounds the view table, LRU,
+    for parity with the legacy cache.  ``evictions`` counts views dropped
+    for either reason (cheap int, surfaced by the engine and benchmarks).
     """
 
     def __init__(
         self,
         max_entries: Optional[int] = 4096,
         max_nodes: Optional[int] = DEFAULT_MAX_NODES,
+        vectorize: Optional[bool] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ProbabilityError(f"max_entries must be positive, got {max_entries}")
@@ -685,9 +645,11 @@ class SharedDTreeCache:
             raise ProbabilityError(f"max_nodes must be positive, got {max_nodes}")
         self.max_entries = max_entries
         self.max_nodes = max_nodes
+        self.vectorize = vectorize
         self.hits = 0
         self.misses = 0
-        self.store = SharedLineageStore(max_nodes=max_nodes)
+        self.evictions = 0
+        self.store = SharedLineageStore(max_nodes=max_nodes, vectorize=vectorize)
         self._views: Dict[FrozenSet[Clause], SharedDTree] = {}
         self._epoch = self.store.reset_epoch
 
@@ -708,9 +670,10 @@ class SharedDTreeCache:
             self.store.reset_nodes()
         # Drop views from earlier store epochs (in-refinement resets happen
         # without the cache on the stack): a cached view pins its whole
-        # epoch's sub-DAG, so retaining stale epochs would bound memory by
-        # views x budget instead of the documented budget.
+        # epoch's intern structures, so retaining stale epochs would bound
+        # memory by views x budget instead of the documented budget.
         if self._epoch != self.store.reset_epoch:
+            self.evictions += len(self._views)
             self._views.clear()
             self._epoch = self.store.reset_epoch
         key = dnf.clauses
@@ -724,11 +687,13 @@ class SharedDTreeCache:
         self._views[key] = view
         if self.max_entries is not None and len(self._views) > self.max_entries:
             self._views.pop(next(iter(self._views)))
+            self.evictions += 1
         return view
 
     def clear(self) -> None:
-        self.store = SharedLineageStore(max_nodes=self.max_nodes)
+        self.store = SharedLineageStore(max_nodes=self.max_nodes, vectorize=self.vectorize)
         self._views.clear()
         self._epoch = self.store.reset_epoch
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

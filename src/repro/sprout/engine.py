@@ -75,7 +75,8 @@ from repro.errors import (
     UnsupportedQueryError,
 )
 from repro.algebra.columnar import DEFAULT_BATCH_ROWS, sort_batch
-from repro.prob.dtree import DEFAULT_MAX_STEPS, DTreeCache, refine_to_budget
+from repro.prob.backend import HAS_NUMPY, backend_name, default_vectorize
+from repro.prob.dtree import DEFAULT_MAX_STEPS, DTreeCache
 from repro.prob.sharedag import DEFAULT_MAX_NODES, SharedDTreeCache
 from repro.prob.formulas import DNF
 from repro.prob.lineage import (
@@ -101,6 +102,7 @@ from repro.sprout.parallel import (
     ParallelRefinementScheduler,
     compute_confidences,
     finish_exact,
+    run_shared_scheduled,
 )
 from repro.sprout.planner import (
     JoinOrderPlanner,
@@ -111,7 +113,7 @@ from repro.sprout.planner import (
     project_answer_columns,
 )
 from repro.sprout.scans import ScanSchedule
-from repro.sprout.topk import RefinementScheduler, TupleCandidate
+from repro.sprout.topk import RefinementScheduler, TupleCandidate, run_decision
 from repro.storage.heapfile import HeapFile
 from repro.storage.relation import Relation
 from repro.storage.schema import Attribute, ColumnRole, Schema
@@ -158,6 +160,11 @@ class EvaluationResult:
       when a ``max_steps`` budget ran out first).
     * ``refine_steps`` — total d-tree expansions spent (across all workers,
       when the evaluation ran with ``workers >= 1``).
+    * ``backend`` — the numeric backend the refinement core ran on
+      (``"numpy"`` when the vectorized bound-propagation passes were active,
+      ``"python"`` for the scalar fallback; see
+      :func:`repro.prob.backend.backend_info`).  Results are bit-identical
+      either way — this records throughput provenance, not semantics.
     * ``tuples_seconds`` / ``prob_seconds`` / ``answer_rows`` /
       ``rows_processed`` / ``scans_used`` — the paper's cost metrics: time to
       materialise the answer vs. time to compute confidences, the number of
@@ -187,6 +194,9 @@ class EvaluationResult:
     tau: Optional[float] = None
     decided: bool = True
     refine_steps: int = 0
+    #: Numeric backend of the refinement core for this evaluation ("numpy"
+    #: when vectorized passes were active, "python" otherwise).
+    backend: str = "python"
 
     @property
     def total_seconds(self) -> float:
@@ -377,6 +387,7 @@ class SproutEngine:
         workers: Optional[int] = None,
         shared_lineage: Optional[bool] = None,
         dtree_cache_size: Optional[int] = None,
+        vectorize: Optional[bool] = None,
     ):
         if execution not in EXECUTION_MODES:
             raise PlanningError(
@@ -413,13 +424,23 @@ class SproutEngine:
         self.workers = workers
         self.shared_lineage = bool(shared_lineage)
         self.dtree_cache_size = dtree_cache_size
+        # Numeric backend of the refinement core: vectorized NumPy passes
+        # when available (and not disabled via REPRO_VECTORIZE or the
+        # explicit parameter), scalar Python loops otherwise.  Requesting
+        # vectorize=True without NumPy degrades to scalar — the backends are
+        # bit-identical, so this is a throughput choice, never a semantic one.
+        if vectorize is None:
+            self.vectorize = default_vectorize()
+        else:
+            self.vectorize = bool(vectorize) and HAS_NUMPY
+        self.backend = backend_name(self.vectorize)
         # The engine-lifetime lineage cache the serial top-k/threshold
         # scheduler refines across calls.  Shared-lineage mode swaps the
         # per-tuple tree cache for views over one hash-consed DAG; both are
         # bounded by dtree_cache_size *nodes* (not entries), so huge
         # lineages cannot blow memory through a small number of entries.
         self.dtree_cache = (
-            SharedDTreeCache(max_nodes=dtree_cache_size)
+            SharedDTreeCache(max_nodes=dtree_cache_size, vectorize=self.vectorize)
             if self.shared_lineage
             else DTreeCache(max_nodes=dtree_cache_size)
         )
@@ -448,6 +469,24 @@ class SproutEngine:
         for executor in self._executors.values():
             executor.close()
         self._executors.clear()
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Lineage-cache counters and the active numeric backend.
+
+        ``hits`` / ``misses`` / ``evictions`` are cheap ints maintained by
+        the engine's :class:`repro.prob.sharedag.SharedDTreeCache` (or
+        legacy :class:`repro.prob.dtree.DTreeCache`); benchmarks and the
+        bench report use them to attribute warm-vs-cold step counts instead
+        of inferring them from timings.
+        """
+        return {
+            "hits": self.dtree_cache.hits,
+            "misses": self.dtree_cache.misses,
+            "evictions": self.dtree_cache.evictions,
+            "entries": len(self.dtree_cache),
+            "shared_lineage": self.shared_lineage,
+            "backend": self.backend,
+        }
 
     def __enter__(self) -> "SproutEngine":
         return self
@@ -852,6 +891,7 @@ class SproutEngine:
             tau=tau,
             decided=outcome.decided,
             refine_steps=outcome.steps + finishing_steps,
+            backend=self.backend,
         )
 
     def _run_serial_scheduler(
@@ -875,43 +915,22 @@ class SproutEngine:
             answer.lineage, answer.probabilities, cache=self.dtree_cache
         )
         candidates = [TupleCandidate(data, tree=tree) for data, tree in trees.items()]
-        scheduler = RefinementScheduler(
+        # run_decision is the single decision+finishing routine shared with
+        # the shared-parallel worker: with the default engine budget each
+        # selected tuple gets dtree_max_steps of exact finishing (the same
+        # per-tuple cap exact-mode evaluate() grants) and exhaustion raises
+        # ApproximationBudgetError; an explicit per-call max_steps instead
+        # caps the whole call (leftover after the decision, shared across
+        # tuples) and is reported, never raised.
+        return run_decision(
             candidates,
-            max_steps=self.dtree_max_steps if max_steps is None else max_steps,
+            k,
+            tau,
+            confidence,
+            max_steps,
+            self.dtree_max_steps,
             store=self.dtree_cache.store if self.shared_lineage else None,
         )
-        outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
-        finishing_steps = 0
-        if confidence == "exact":
-            # The decision needed only bounds; exact mode still reports exact
-            # confidences for the tuples it returns (and only for those).
-            # With the default engine budget each tuple gets dtree_max_steps
-            # (the same per-tuple cap exact-mode evaluate() grants) and
-            # exhaustion raises ApproximationBudgetError; an explicit
-            # per-call max_steps instead caps the whole call (leftover after
-            # the decision, shared across tuples) and is reported, never
-            # raised.
-            finishing_budget = (
-                None if max_steps is None else max(0, max_steps - outcome.steps)
-            )
-            for candidate in outcome.selected:
-                if candidate.tree is None or candidate.exact:
-                    continue
-                if finishing_budget is None:
-                    remaining = self.dtree_max_steps
-                else:
-                    remaining = finishing_budget - finishing_steps
-                try:
-                    result = refine_to_budget(
-                        candidate.tree, epsilon=0.0, max_steps=remaining
-                    )
-                    finishing_steps += result.steps
-                except ApproximationBudgetError as error:
-                    finishing_steps += error.steps
-                    if max_steps is None:
-                        raise
-                    break  # explicit cap: report the midpoints we have
-        return outcome, finishing_steps
 
     def _run_parallel_scheduler(
         self,
@@ -922,16 +941,41 @@ class SproutEngine:
         max_steps: Optional[int],
         workers: int,
     ):
-        """The parallel route: round-based frontier refinement on a worker pool.
+        """The parallel route: ship refinement work to a worker pool.
 
-        Exact-mode finishing grants each selected tuple the engine-default
-        per-tuple cap (raising on exhaustion like the serial route); an
-        explicit ``max_steps`` instead grants each tuple the budget left
-        after the decision and reports midpoints — per tuple rather than
-        shared sequentially, so the behaviour does not depend on worker
-        scheduling.
+        With ``shared_lineage`` on (the default) the entire decision is
+        compiled into one columnar store segment and offloaded to a single
+        worker, which runs the very same
+        :func:`repro.sprout.topk.run_decision` routine as the serial route —
+        shared grants pick the *globally* most valuable node, which couples
+        all candidates into one sequential decision, and shipping the whole
+        run is what keeps decided sets, confidences, and step counts
+        bit-identical for workers 0/1/N on a fresh engine (the serial route
+        additionally reuses its cache across calls, which a shipped segment
+        deliberately does not).
+
+        With ``shared_lineage=False`` the round-based frontier scheduler
+        refines isolated per-tuple trees across the pool.  Its exact-mode
+        finishing grants each selected tuple the engine-default per-tuple
+        cap (raising on exhaustion like the serial route); an explicit
+        ``max_steps`` instead grants each tuple the budget left after the
+        decision and reports midpoints — per tuple rather than shared
+        sequentially, so the behaviour does not depend on worker scheduling.
         """
         executor = self._executor_for(workers)
+        if self.shared_lineage:
+            return run_shared_scheduled(
+                answer.lineage,
+                answer.probabilities,
+                executor,
+                k=k,
+                tau=tau,
+                confidence=confidence,
+                max_steps=max_steps,
+                default_cap=self.dtree_max_steps,
+                max_nodes=self.dtree_cache_size,
+                vectorize=self.vectorize,
+            )
         scheduler = ParallelRefinementScheduler(
             answer.lineage,
             answer.probabilities,
@@ -1054,6 +1098,7 @@ class SproutEngine:
             rows_processed=rows_processed,
             scans_used=scans_used,
             scan_schedule=schedule,
+            backend=self.backend,
         )
 
     def _evaluate_lazy_batch(
@@ -1107,6 +1152,7 @@ class SproutEngine:
             rows_processed=rows_processed,
             scans_used=scans_used,
             scan_schedule=schedule,
+            backend=self.backend,
         )
 
     # -- eager / hybrid plans ------------------------------------------------------------
@@ -1154,6 +1200,7 @@ class SproutEngine:
             answer_rows=len(final),
             rows_processed=node_result.rows_processed,
             scans_used=0,
+            backend=self.backend,
         )
 
     # -- lineage fallback ---------------------------------------------------------------
@@ -1189,6 +1236,7 @@ class SproutEngine:
             answer_rows=len(answer),
             rows_processed=rows_processed,
             scans_used=1,
+            backend=self.backend,
         )
 
     # -- d-tree path (unsafe queries and anytime approximation) -------------------------
@@ -1258,6 +1306,7 @@ class SproutEngine:
             epsilon=None if confidence == "exact" else epsilon,
             bounds=bounds,
             refine_steps=sum(result.steps for result in results.values()),
+            backend=self.backend,
         )
 
     # -- helpers -----------------------------------------------------------------------

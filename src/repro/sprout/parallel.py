@@ -80,7 +80,14 @@ from repro.prob.dtree import (
     refine_to_budget,
 )
 from repro.prob.formulas import DNF
-from repro.sprout.topk import DEFAULT_CHUNK
+from repro.prob.lineage import dtrees_from_dnfs
+from repro.prob.sharedag import (
+    DEFAULT_MAX_NODES,
+    SharedDTree,
+    SharedDTreeCache,
+    SharedLineageStore,
+)
+from repro.sprout.topk import DEFAULT_CHUNK, TupleCandidate, run_decision
 
 __all__ = [
     "ConfidenceTask",
@@ -91,11 +98,15 @@ __all__ = [
     "ParallelCandidate",
     "ParallelOutcome",
     "ParallelRefinementScheduler",
+    "SharedRunTask",
+    "SharedRunOutcome",
     "compute_confidences",
     "confidence_tasks",
     "derive_task_seed",
+    "execute_shared_run",
     "finish_exact",
     "partition_tasks",
+    "run_shared_scheduled",
 ]
 
 DataTuple = Tuple[object, ...]
@@ -250,6 +261,108 @@ class TaskOutcome:
         self.error = error
 
 
+class SharedRunTask:
+    """A whole top-k/threshold refinement run over a shipped store segment.
+
+    Shared-lineage refinement is inherently sequential — every grant targets
+    the *globally* most valuable node across all gating tuples — so instead
+    of fanning per-tuple trees across the pool, the driver compiles the
+    run's lineage into one columnar store, exports it as a segment
+    (:meth:`repro.prob.sharedag.SharedLineageStore.export_segment`), and
+    ships the whole decision to a single worker.  ``views`` holds one root
+    nid per distinct lineage DNF (serial view aliasing: equal clause sets
+    share one frontier) and ``candidates`` maps each answer tuple to its
+    view index, in the exact order the serial route builds them — which is
+    what makes the worker's decision bit-identical to ``workers=0``.
+    """
+
+    __slots__ = (
+        "key",
+        "segment",
+        "views",
+        "candidates",
+        "k",
+        "tau",
+        "confidence",
+        "max_steps",
+        "default_cap",
+    )
+
+    def __init__(
+        self,
+        segment: dict,
+        views: Sequence[int],
+        candidates: Sequence[Tuple[DataTuple, int]],
+        k: Optional[int],
+        tau: Optional[float],
+        confidence: str,
+        max_steps: Optional[int],
+        default_cap: Optional[int],
+        key: int = 0,
+    ):
+        self.key = key
+        self.segment = segment
+        self.views = list(views)
+        self.candidates = list(candidates)
+        self.k = k
+        self.tau = tau
+        self.confidence = confidence
+        self.max_steps = max_steps
+        self.default_cap = default_cap
+
+
+class SharedRunOutcome:
+    """What came back for one :class:`SharedRunTask`.
+
+    ``kind`` is ``"ok"``, ``"budget"`` (exact-mode finishing exhausted the
+    engine-default per-tuple cap; the driver re-raises
+    :class:`repro.errors.ApproximationBudgetError` with the shipped
+    bracket), or ``"error"`` (via the generic partition wrapper).
+    ``bounds`` carries ``(lower, upper, exact)`` per candidate in task
+    order; ``selected`` indexes into that order, most probable first.
+    """
+
+    __slots__ = (
+        "key",
+        "kind",
+        "selected",
+        "bounds",
+        "decided",
+        "steps",
+        "finishing_steps",
+        "budget_lower",
+        "budget_upper",
+        "budget_steps",
+        "error",
+    )
+
+    def __init__(
+        self,
+        key: int,
+        kind: str = "ok",
+        selected: Optional[List[int]] = None,
+        bounds: Optional[List[Tuple[float, float, bool]]] = None,
+        decided: bool = False,
+        steps: int = 0,
+        finishing_steps: int = 0,
+        budget_lower: float = 0.0,
+        budget_upper: float = 1.0,
+        budget_steps: int = 0,
+        error: Optional[str] = None,
+    ):
+        self.key = key
+        self.kind = kind
+        self.selected = selected if selected is not None else []
+        self.bounds = bounds if bounds is not None else []
+        self.decided = decided
+        self.steps = steps
+        self.finishing_steps = finishing_steps
+        self.budget_lower = budget_lower
+        self.budget_upper = budget_upper
+        self.budget_steps = budget_steps
+        self.error = error
+
+
 # ---------------------------------------------------------------------------
 # worker-side execution (shared verbatim by the serial and process backends)
 # ---------------------------------------------------------------------------
@@ -280,8 +393,60 @@ def _cached_tree(task: ConfidenceTask) -> DTree:
     return tree
 
 
-def execute_task(task: ConfidenceTask) -> TaskOutcome:
-    """Run one task to completion (in whichever process this is)."""
+def execute_shared_run(task: SharedRunTask) -> SharedRunOutcome:
+    """Run one whole shared-lineage decision (in whichever process this is).
+
+    Rebuilds the store from the shipped segment, re-creates one view per
+    root nid (:meth:`repro.prob.sharedag.SharedDTree.from_root` — the
+    frontier is a pure function of the table state, so it matches what the
+    driver's in-process views held), and runs the very same
+    :func:`repro.sprout.topk.run_decision` routine the serial engine route
+    runs.  Same code, same store state, same candidate order — hence
+    bit-identical decided sets, confidences, and step counts.
+    """
+    store = SharedLineageStore.from_segment(task.segment)
+    views = [SharedDTree.from_root(store, root) for root in task.views]
+    candidates = [
+        TupleCandidate(data, tree=views[index]) for data, index in task.candidates
+    ]
+    try:
+        outcome, finishing_steps = run_decision(
+            candidates,
+            task.k,
+            task.tau,
+            task.confidence,
+            task.max_steps,
+            task.default_cap,
+            store=store,
+        )
+    except ApproximationBudgetError as error:
+        return SharedRunOutcome(
+            key=task.key,
+            kind="budget",
+            budget_lower=error.lower,
+            budget_upper=error.upper,
+            budget_steps=error.steps,
+        )
+    index_of = {id(candidate): index for index, candidate in enumerate(candidates)}
+    return SharedRunOutcome(
+        key=task.key,
+        selected=[index_of[id(candidate)] for candidate in outcome.selected],
+        bounds=[(c.lower, c.upper, c.exact) for c in candidates],
+        decided=outcome.decided,
+        steps=outcome.steps,
+        finishing_steps=finishing_steps,
+    )
+
+
+def execute_task(task: ConfidenceTask) -> "TaskOutcome":
+    """Run one task to completion (in whichever process this is).
+
+    :class:`SharedRunTask` work units dispatch to
+    :func:`execute_shared_run` (returning a :class:`SharedRunOutcome`);
+    everything below handles the per-tuple :class:`ConfidenceTask` modes.
+    """
+    if isinstance(task, SharedRunTask):
+        return execute_shared_run(task)
     if task.target_steps is not None:
         tree = _cached_tree(task)
         performed = tree.refine_to_target(task.target_steps)
@@ -927,3 +1092,102 @@ def finish_exact(
         candidate.upper = result.upper
         candidate.exact = result.exact
     return performed
+
+
+# ---------------------------------------------------------------------------
+# shared-lineage runs: the whole decision ships as one segment
+# ---------------------------------------------------------------------------
+
+
+def run_shared_scheduled(
+    lineage: Mapping[DataTuple, DNF],
+    probabilities: Mapping[int, float],
+    executor: ConfidenceExecutor,
+    *,
+    k: Optional[int],
+    tau: Optional[float],
+    confidence: str,
+    max_steps: Optional[int],
+    default_cap: Optional[int],
+    max_nodes: Optional[int] = DEFAULT_MAX_NODES,
+    vectorize: Optional[bool] = None,
+) -> Tuple[ParallelOutcome, int]:
+    """Drive one shared-lineage top-k/threshold run through an executor.
+
+    The shared-lineage counterpart of
+    :class:`ParallelRefinementScheduler` + :func:`finish_exact`: shared
+    grants pick the *globally* most valuable node, which couples every
+    gating tuple into one sequential decision — so instead of fanning
+    per-tuple trees across rounds, the driver compiles the lineage into a
+    fresh columnar store (exactly the way the ``workers=0`` route compiles
+    into the engine's cache), exports the store segment, and ships the
+    entire decision to one worker via :class:`SharedRunTask`.  The worker
+    runs the same :func:`repro.sprout.topk.run_decision` code over the same
+    store state, so decided sets, confidences, and step counts are
+    bit-identical for workers 0/1/N.
+
+    Exact-mode budget exhaustion re-raises
+    :class:`repro.errors.ApproximationBudgetError` with the worker's
+    bracket (the serial contract); a worker failure raises
+    :class:`repro.errors.ParallelExecutionError`.  Returns
+    ``(outcome, finishing_steps)`` in the engine scheduler convention.
+    """
+    cache = SharedDTreeCache(max_nodes=max_nodes, vectorize=vectorize)
+    trees = dtrees_from_dnfs(lineage, probabilities, cache=cache)
+    if not trees:
+        return ParallelOutcome(selected=[], candidates=[], decided=True, steps=0), 0
+    view_slots: Dict[int, int] = {}
+    views: List[int] = []
+    members: List[Tuple[DataTuple, int]] = []
+    for data, view in trees.items():
+        slot = view_slots.get(id(view))
+        if slot is None:
+            slot = len(views)
+            view_slots[id(view)] = slot
+            views.append(view.root)
+        members.append((data, slot))
+    task = SharedRunTask(
+        segment=cache.store.export_segment(),
+        views=views,
+        candidates=members,
+        k=k,
+        tau=tau,
+        confidence=confidence,
+        max_steps=max_steps,
+        default_cap=default_cap,
+    )
+    payload = executor.run([task])[0]
+    if payload.kind == "error":
+        raise ParallelExecutionError(
+            "a shared-lineage refinement run failed in its worker",
+            worker_error=payload.error,
+        )
+    if payload.kind == "budget":
+        raise ApproximationBudgetError(
+            lower=payload.budget_lower,
+            upper=payload.budget_upper,
+            epsilon=0.0,
+            relative=False,
+            steps=payload.budget_steps,
+        )
+    candidates = [
+        ParallelCandidate(
+            data=data,
+            clauses=(),
+            probabilities={},
+            rank=rank,
+            lower=lower,
+            upper=upper,
+            exact=exact,
+        )
+        for rank, ((data, _), (lower, upper, exact)) in enumerate(
+            zip(members, payload.bounds)
+        )
+    ]
+    outcome = ParallelOutcome(
+        selected=[candidates[index] for index in payload.selected],
+        candidates=candidates,
+        decided=payload.decided,
+        steps=payload.steps,
+    )
+    return outcome, payload.finishing_steps

@@ -51,8 +51,8 @@ from dataclasses import dataclass
 from heapq import nlargest
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import PlanningError
-from repro.prob.dtree import DTree
+from repro.errors import ApproximationBudgetError, PlanningError
+from repro.prob.dtree import DTree, refine_to_budget
 from repro.prob.sharedag import SharedDTree, SharedLineageStore
 
 __all__ = [
@@ -60,6 +60,7 @@ __all__ = [
     "TupleCandidate",
     "SchedulerOutcome",
     "RefinementScheduler",
+    "run_decision",
 ]
 
 DataTuple = Tuple[object, ...]
@@ -104,11 +105,11 @@ class TupleCandidate:
 
     @property
     def lower(self) -> float:
-        return self.value if self.tree is None else self.tree.root.lower
+        return self.value if self.tree is None else self.tree.lower
 
     @property
     def upper(self) -> float:
-        return self.value if self.tree is None else self.tree.root.upper
+        return self.value if self.tree is None else self.tree.upper
 
     @property
     def gap(self) -> float:
@@ -341,3 +342,58 @@ class RefinementScheduler:
                     return self._outcome(selected, False)
                 continue
             self._grant(max(straddling, key=lambda c: c.gap))
+
+
+def run_decision(
+    candidates: List[TupleCandidate],
+    k: Optional[int],
+    tau: Optional[float],
+    confidence: str,
+    max_steps: Optional[int],
+    default_cap: Optional[int],
+    store: Optional[SharedLineageStore] = None,
+) -> Tuple[SchedulerOutcome, int]:
+    """One complete bound-driven decision: schedule, decide, finish exact.
+
+    The single in-process decision routine shared by the serial engine route
+    (``workers=0``) and the shared-parallel worker (which runs it against a
+    store rebuilt from a shipped segment) — factoring it guarantees the two
+    routes are the same code, which is what makes their decided sets,
+    confidences, and step counts bit-identical.
+
+    Runs :class:`RefinementScheduler` over ``candidates`` (top-k when ``k``
+    is given, threshold otherwise) and, in exact confidence mode, refines
+    every selected candidate to closure.  With ``max_steps=None`` each
+    selected tuple gets the engine-default per-tuple ``default_cap`` and
+    exhaustion raises :class:`repro.errors.ApproximationBudgetError`; an
+    explicit ``max_steps`` instead caps the whole call (leftover after the
+    decision, shared sequentially across tuples) and is reported, never
+    raised.  Returns ``(outcome, finishing_steps)``.
+    """
+    scheduler = RefinementScheduler(
+        candidates,
+        max_steps=default_cap if max_steps is None else max_steps,
+        store=store,
+    )
+    outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
+    finishing_steps = 0
+    if confidence == "exact":
+        # The decision needed only bounds; exact mode still reports exact
+        # confidences for the tuples it returns (and only for those).
+        finishing_budget = None if max_steps is None else max(0, max_steps - outcome.steps)
+        for candidate in outcome.selected:
+            if candidate.tree is None or candidate.exact:
+                continue
+            if finishing_budget is None:
+                remaining = default_cap
+            else:
+                remaining = finishing_budget - finishing_steps
+            try:
+                result = refine_to_budget(candidate.tree, epsilon=0.0, max_steps=remaining)
+                finishing_steps += result.steps
+            except ApproximationBudgetError as error:
+                finishing_steps += error.steps
+                if max_steps is None:
+                    raise
+                break  # explicit cap: report the midpoints we have
+    return outcome, finishing_steps

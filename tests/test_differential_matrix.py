@@ -262,6 +262,47 @@ def test_topk_and_threshold_shared_axis(case, confidence):
 
 
 @pytest.mark.parametrize("case", sorted(CORPUS))
+@pytest.mark.parametrize("confidence", ["exact", "approx"])
+def test_vectorized_axis_is_bit_identical(case, confidence):
+    """Vectorized vs. scalar bound propagation: nothing may move a bit.
+
+    The NumPy kernels replicate the scalar combine-bounds arithmetic
+    operation for operation (same accumulation order, same float64 ops), so
+    confidences, bounds, decided sets, *and step counts* must be identical —
+    the backend is a throughput choice, never a semantic one.  Without NumPy
+    installed ``vectorize=True`` degrades to the scalar path and the
+    comparison is trivially satisfied (that leg still pins the fallback).
+    """
+    build_db, make_query = CORPUS[case]
+    truth = _truth(case)
+    tau = sorted(truth.values())[len(truth) // 2] if truth else 0.5
+    fingerprints = {}
+    for vectorize in (False, True):
+        engine = SproutEngine(build_db(), epsilon=EPSILON, vectorize=vectorize)
+        plain = engine.evaluate(make_query(), plan="dtree", confidence=confidence)
+        top = engine.evaluate_topk(
+            make_query(), k=2, plan="dtree", confidence=confidence
+        )
+        threshold = engine.evaluate_threshold(
+            make_query(), tau=tau, plan="dtree", confidence=confidence
+        )
+        fingerprints[vectorize] = (
+            sorted(plain.confidences().items()),
+            sorted(plain.bounds.items()),
+            plain.refine_steps,
+            sorted(top.confidences().items()),
+            sorted(top.bounds.items()),
+            top.decided,
+            top.refine_steps,
+            sorted(threshold.confidences().items()),
+            sorted(threshold.bounds.items()),
+            threshold.decided,
+            threshold.refine_steps,
+        )
+    assert fingerprints[True] == fingerprints[False]
+
+
+@pytest.mark.parametrize("case", sorted(CORPUS))
 def test_topk_and_threshold_agree_across_backends(case):
     """The bounded APIs return identical answer sets under row and batch."""
     build_db, make_query = CORPUS[case]

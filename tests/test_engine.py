@@ -210,3 +210,64 @@ class TestEngineValidation:
         assert len(result.confidences()) > 1
         with pytest.raises(PlanningError):
             result.boolean_confidence()
+
+
+class TestEngineInstrumentation:
+    """The cache-counter and backend surfaces added with the columnar core."""
+
+    @staticmethod
+    def unsafe_workload():
+        """q(a) :- R(a, x), S(x, y), T(y): unsafe, so top-k hits the cache."""
+        db = ProbabilisticDatabase("chain-db")
+        db.add_table(
+            Relation("R", Schema.of("a:int", "x:int"), [(0, 0), (0, 1), (1, 1)]),
+            probabilities=[0.8, 0.3, 0.6],
+        )
+        db.add_table(
+            Relation("S", Schema.of("x:int", "y:int"), [(0, 0), (1, 1), (1, 0)]),
+            probabilities=[0.45, 0.85, 0.75],
+        )
+        db.add_table(
+            Relation("T", Schema.of("y:int"), [(0,), (1,)]), probabilities=[0.9, 0.35]
+        )
+        query = ConjunctiveQuery(
+            "chain",
+            [Atom("R", ["a", "x"]), Atom("S", ["x", "y"]), Atom("T", ["y"])],
+            projection=["a"],
+        )
+        return db, query
+
+    @pytest.mark.parametrize("shared", (True, False))
+    def test_cache_stats_counters(self, shared):
+        db, query = self.unsafe_workload()
+        with SproutEngine(db, workers=0, shared_lineage=shared) as engine:
+            stats = engine.cache_stats()
+            assert stats == {
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "entries": 0,
+                "shared_lineage": shared,
+                "backend": engine.backend,
+            }
+            engine.evaluate_topk(query, k=1)
+            warmed = engine.cache_stats()
+            assert warmed["misses"] >= 1
+            assert warmed["entries"] >= 1
+            engine.evaluate_topk(query, k=1)
+            assert engine.cache_stats()["hits"] >= 1
+
+    def test_results_surface_the_backend(self, paper_db, paper_q):
+        with SproutEngine(paper_db) as engine:
+            result = engine.evaluate(paper_q)
+            assert result.backend == engine.backend
+            assert engine.backend in ("numpy", "python")
+
+    def test_vectorize_off_forces_python_backend(self, paper_db, paper_q):
+        with SproutEngine(paper_db, vectorize=False) as scalar:
+            assert scalar.backend == "python"
+            scalar_result = scalar.evaluate(paper_q, plan="dtree")
+            assert scalar_result.backend == "python"
+        with SproutEngine(paper_db) as default:
+            default_result = default.evaluate(paper_q, plan="dtree")
+        assert scalar_result.confidences() == default_result.confidences()

@@ -337,6 +337,62 @@ class TestParallelTopK:
         assert isinstance(result.decided, bool)
         assert result.refine_steps == 0
 
+    def test_shared_parallel_bit_identical_to_serial(self, chain_db):
+        """Shared lineage + workers 0/1/4: one decision, bit-for-bit.
+
+        The shared-parallel route ships the whole compiled store segment to
+        one worker, which runs the very same ``run_decision`` routine the
+        serial route runs — so on fresh engines the *full* fingerprint
+        (confidences, bounds, decided sets, and step counts) must match
+        exactly, not just the answer sets."""
+        query = unsafe_chain_query()
+        for confidence in ("exact", "approx"):
+            topk_prints = []
+            threshold_prints = []
+            for workers in WORKER_COUNTS:
+                with SproutEngine(
+                    chain_db, workers=workers, shared_lineage=True
+                ) as engine:
+                    top = engine.evaluate_topk(query, k=2, confidence=confidence)
+                    assert top.decided
+                    topk_prints.append(result_fingerprint(top))
+                with SproutEngine(
+                    chain_db, workers=workers, shared_lineage=True
+                ) as engine:
+                    threshold = engine.evaluate_threshold(
+                        query, tau=0.35, confidence=confidence
+                    )
+                    assert threshold.decided
+                    threshold_prints.append(result_fingerprint(threshold))
+            assert len(set(topk_prints)) == 1, confidence
+            assert len(set(threshold_prints)) == 1, confidence
+
+    def test_shared_parallel_budget_exhaustion_is_reported(self, chain_db):
+        with SproutEngine(chain_db, workers=2, shared_lineage=True) as engine:
+            result = engine.evaluate_topk(
+                unsafe_chain_query(), k=1, confidence="approx", max_steps=0
+            )
+            assert result.refine_steps == 0
+        with SproutEngine(chain_db, workers=0, shared_lineage=True) as engine:
+            serial = engine.evaluate_topk(
+                unsafe_chain_query(), k=1, confidence="approx", max_steps=0
+            )
+        assert result_fingerprint(result) == result_fingerprint(serial)
+
+    def test_per_tuple_parallel_route_still_selectable(self, chain_db):
+        """``shared_lineage=False`` keeps the round-based frontier scheduler
+        reachable from the engine (the pre-shared parallel behaviour)."""
+        query = unsafe_chain_query()
+        fingerprints = []
+        for workers in (1, 4):
+            with SproutEngine(
+                chain_db, workers=workers, shared_lineage=False
+            ) as engine:
+                result = engine.evaluate_topk(query, k=2)
+                assert result.decided
+                fingerprints.append(result_fingerprint(result))
+        assert len(set(fingerprints)) == 1
+
     def test_scheduler_validation(self, chain_db):
         scheduler = lambda **kw: ParallelRefinementScheduler(  # noqa: E731
             {(1,): DNF([[0]])}, {0: 0.5}, SerialExecutor(), **kw

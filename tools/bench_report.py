@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
 """Consolidated benchmark report: run the SF 0.001 suite, emit one JSON.
 
-Runs the shared-lineage and top-k pruning benchmarks at scale factor 0.001
-(one round each — the asserted quantities are deterministic step counts, not
-timings) and consolidates the per-test results into a single
-``BENCH_shared_lineage.json``:
+Runs the refinement-core, shared-lineage, and top-k pruning benchmarks at
+scale factor 0.001 (one round each — the asserted quantities are
+deterministic step counts, not timings) and consolidates the per-test
+results into a single ``BENCH_refinement_core.json``:
 
 * ``benchmarks`` — per benchmark: the median wall time and every
   ``extra_info`` counter the script recorded (refinement steps, cache hits,
-  speedup ratios);
-* ``summary`` — the headline numbers the perf trajectory tracks: logical
-  steps to decide the unsafe TPC-H brand top-10 under the shared-DAG
-  scheduler vs. the per-tuple schedulers, and the resulting ratios.
+  sweep timings, speedup ratios);
+* ``summary`` — the headline numbers the perf trajectory tracks: the
+  vectorized-vs-scalar bound-propagation sweep ratio of the columnar node
+  table, and the logical steps to decide the unsafe TPC-H brand top-10
+  under the shared-DAG scheduler vs. the per-tuple schedulers.
 
 CI uploads the file as an artifact on every push (``smoke-benchmark`` job),
 seeding a comparable series of step counts and wall times across commits.
@@ -19,8 +20,10 @@ Run locally from the repository root:
 
     python tools/bench_report.py [output.json]
 
-Exits non-zero if the underlying pytest run fails (the benchmarks assert
-the acceptance contract, so a regression fails the report too).
+The report fails loudly: a missing raw-result file, a benchmark that did
+not run, or an ``extra_info`` counter that a benchmark stopped recording
+all exit non-zero with an explicit message — a partial JSON is never
+written.
 """
 
 from __future__ import annotations
@@ -35,10 +38,15 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 BENCHMARKS = [
+    "benchmarks/bench_refinement_core.py",
     "benchmarks/bench_shared_lineage.py",
     "benchmarks/bench_topk_pruning.py",
 ]
-DEFAULT_OUTPUT = "BENCH_shared_lineage.json"
+DEFAULT_OUTPUT = "BENCH_refinement_core.json"
+
+
+class ReportError(RuntimeError):
+    """A benchmark artifact the report depends on is missing or incomplete."""
 
 
 def run_benchmarks(raw_json: Path) -> int:
@@ -64,6 +72,11 @@ def run_benchmarks(raw_json: Path) -> int:
 
 
 def consolidate(raw_json: Path) -> dict:
+    if not raw_json.is_file():
+        raise ReportError(
+            f"benchmark run produced no raw result file at {raw_json} "
+            "(pytest-benchmark missing or the run crashed before writing)"
+        )
     raw = json.loads(raw_json.read_text(encoding="utf-8"))
     benchmarks = []
     for entry in raw.get("benchmarks", []):
@@ -78,12 +91,29 @@ def consolidate(raw_json: Path) -> dict:
                 "extra_info": entry.get("extra_info", {}),
             }
         )
+    if not benchmarks:
+        raise ReportError(
+            f"raw result file {raw_json} contains no benchmark entries — "
+            "the suite collected nothing"
+        )
 
     def extra(name_fragment: str, key: str):
+        """The recorded counter, or a loud failure naming what is missing."""
+        matched = False
         for bench in benchmarks:
-            if name_fragment in (bench["name"] or "") and key in bench["extra_info"]:
-                return bench["extra_info"][key]
-        return None
+            if name_fragment in (bench["name"] or ""):
+                matched = True
+                if key in bench["extra_info"]:
+                    return bench["extra_info"][key]
+        if matched:
+            raise ReportError(
+                f"benchmark '{name_fragment}' ran but recorded no "
+                f"extra_info[{key!r}] — the report contract is broken"
+            )
+        raise ReportError(
+            f"no benchmark matching '{name_fragment}' in the raw results — "
+            "did the suite list change without updating the report?"
+        )
 
     shared_steps = extra("test_topk_shared_vs_per_tuple_schedulers", "shared_steps")
     per_tuple_steps = extra(
@@ -94,17 +124,33 @@ def consolidate(raw_json: Path) -> dict:
     )
     summary = {
         "workload": "unsafe TPC-H brand top-10, SF 0.001",
+        "refinement_core": {
+            "backend": extra("test_vectorized_sweep_throughput", "backend"),
+            "numpy_available": extra(
+                "test_vectorized_sweep_throughput", "numpy_available"
+            ),
+            "table_nodes": extra("test_vectorized_sweep_throughput", "table_nodes"),
+            "scalar_sweep_seconds": extra(
+                "test_vectorized_sweep_throughput", "scalar_sweep_seconds"
+            ),
+            "vector_sweep_seconds": extra(
+                "test_vectorized_sweep_throughput", "vector_sweep_seconds"
+            ),
+            "vector_speedup": extra("test_vectorized_sweep_throughput", "vector_speedup"),
+            "backends_bit_identical": extra(
+                "test_backends_bit_identical_end_to_end", "backends_identical"
+            ),
+            "shared_parallel_bit_identical": extra(
+                "test_shared_parallel_matches_serial_step_counts", "parallel_identical"
+            ),
+        },
         "topk_decision_steps": {
             "shared_dag": shared_steps,
             "per_tuple_scheduler": per_tuple_steps,
             "legacy_serial": legacy_steps,
         },
-        "speedup_vs_per_tuple_scheduler": (
-            per_tuple_steps / shared_steps if shared_steps and per_tuple_steps else None
-        ),
-        "speedup_vs_legacy_serial": (
-            legacy_steps / shared_steps if shared_steps and legacy_steps else None
-        ),
+        "speedup_vs_per_tuple_scheduler": per_tuple_steps / max(1, shared_steps),
+        "speedup_vs_legacy_serial": legacy_steps / max(1, shared_steps),
         "canonical_cache_speedup": extra(
             "test_canonical_clause_caching", "cache_speedup"
         ),
@@ -135,13 +181,19 @@ def main() -> int:
         raw_json = Path(scratch) / "raw-benchmark.json"
         status = run_benchmarks(raw_json)
         if status != 0:
-            print(f"FAIL benchmark run exited with status {status}")
+            print(f"FAIL benchmark run exited with status {status}", file=sys.stderr)
             return status
-        report = consolidate(raw_json)
+        try:
+            report = consolidate(raw_json)
+        except ReportError as error:
+            print(f"FAIL bench report: {error}", file=sys.stderr)
+            return 1
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", "utf-8")
+    core = report["summary"]["refinement_core"]
     steps = report["summary"]["topk_decision_steps"]
     print(
-        f"bench report OK: shared={steps['shared_dag']} steps, "
+        f"bench report OK: sweep speedup={core['vector_speedup']:.2f}x "
+        f"({core['backend']} backend), shared={steps['shared_dag']} steps, "
         f"per-tuple scheduler={steps['per_tuple_scheduler']}, "
         f"legacy serial={steps['legacy_serial']} -> {output}"
     )
