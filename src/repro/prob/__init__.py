@@ -19,6 +19,11 @@ Everything about *probability*, independent of query processing:
   :class:`SharedDTree` views whose bounds tighten whenever any tuple
   refines a shared node.  What the serial top-k/threshold scheduler runs
   on by default (``shared_lineage=True``).
+* :mod:`repro.prob.delta` — delta updates over the shared DAG: a
+  probability update re-seeds exactly the rows carrying the variable and
+  repairs their ancestor closure in one multi-source pass; deleted views
+  are retired with epoch-based garbage accounting.  The substrate of the
+  streaming layer (:mod:`repro.sprout.streaming`).
 * :mod:`repro.prob.backend` / :mod:`repro.prob.nodetable` — the columnar
   refinement core: node kinds, child ranges, and bound columns in parallel
   flat arrays, propagated in batched per-level passes (NumPy kernels when
@@ -34,6 +39,7 @@ evaluators and what the epsilon/bounds semantics guarantee.
 """
 
 from repro.prob.backend import HAS_NUMPY, backend_info
+from repro.prob.delta import DeltaReport, apply_probability_update, retire_view
 from repro.prob.dtree import (
     ApproxResult,
     DTree,
@@ -59,6 +65,7 @@ from repro.prob.lineage import (
     approximate_confidences_from_lineage,
     confidences_from_lineage,
     dtrees_from_lineage,
+    interned_dnf,
     lineage_by_tuple,
     probabilities_from_answer,
     split_answer_columns,
@@ -83,6 +90,7 @@ __all__ = [
     "DNF",
     "DTree",
     "DTreeCache",
+    "DeltaReport",
     "Formula",
     "HAS_NUMPY",
     "MonteCarloResult",
@@ -97,6 +105,7 @@ __all__ = [
     "Var",
     "VariableInfo",
     "VariableRegistry",
+    "apply_probability_update",
     "approximate_confidences_from_lineage",
     "backend_info",
     "bipartite_lineage",
@@ -107,11 +116,13 @@ __all__ = [
     "dtree_probability",
     "dtrees_from_lineage",
     "hub_lineage",
+    "interned_dnf",
     "is_read_once",
     "karp_luby_probability",
     "lineage_by_tuple",
     "make_tuple_independent",
     "probabilities_from_answer",
     "refine_to_budget",
+    "retire_view",
     "split_answer_columns",
 ]

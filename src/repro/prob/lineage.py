@@ -30,6 +30,7 @@ from repro.storage.schema import ColumnRole, Schema
 __all__ = [
     "split_answer_columns",
     "lineage_by_tuple",
+    "interned_dnf",
     "probabilities_from_answer",
     "confidences_from_lineage",
     "approximate_confidences_from_lineage",
@@ -38,6 +39,24 @@ __all__ = [
 ]
 
 DataTuple = Tuple[object, ...]
+
+
+def interned_dnf(clauses, interner=None) -> DNF:
+    """A :class:`DNF` whose clause frozensets are shared via ``interner``.
+
+    The lineage entry point of streaming inserts
+    (:meth:`repro.sprout.streaming.StandingQuery.insert_tuple`): routing a
+    new tuple's clauses through the standing store's
+    :class:`repro.prob.sharedag.ClauseInterner` means every clause the store
+    has seen before comes back as the *same* frozenset object — hashing and
+    intern-table lookups on the warm store then hit cached hashes, and a
+    tuple built from already-refined subformulas decides in 0–few steps.
+    ``interner`` is anything with an ``intern(iterable) -> frozenset``
+    method; ``None`` just freezes the clauses.
+    """
+    if interner is None:
+        return DNF(frozenset(clause) for clause in clauses)
+    return DNF(interner.intern(clause) for clause in clauses)
 
 
 def split_answer_columns(schema: Schema) -> Tuple[List[int], List[int], List[int]]:

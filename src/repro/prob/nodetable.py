@@ -247,8 +247,12 @@ class NodeTable:
 
     def ancestors_of(self, start: int) -> set:
         """``start`` plus its ancestor closure over the in-edge backlinks."""
-        seen = {start}
-        stack = [start]
+        return self.ancestors_of_many((start,))
+
+    def ancestors_of_many(self, starts: Sequence[int]) -> set:
+        """The ``starts`` plus their joint ancestor closure (one walk)."""
+        seen = set(starts)
+        stack = list(seen)
         edge_parent = self.edge_parent
         edge_next = self.edge_next
         in_head = self.in_head
@@ -263,7 +267,7 @@ class NodeTable:
                 edge = edge_next[edge]
         return seen
 
-    def propagate_from(self, start: int) -> None:
+    def propagate_from(self, start: int) -> set:
         """Refresh ``start`` and every ancestor, one level pass at a time.
 
         The scalar path keeps the changed-set early exit (a node whose
@@ -271,30 +275,50 @@ class NodeTable:
         vectorized path recomputes every ancestor level wholesale — inner
         bounds are always exactly ``combine_bounds`` of the current
         children, so the full recompute is idempotent and the two paths
-        land on bit-identical columns.
+        land on bit-identical columns.  Returns the ancestor closure.
         """
-        seen = self.ancestors_of(start)
+        return self.propagate_from_many((start,))
+
+    def propagate_from_many(self, starts: Sequence[int]) -> set:
+        """Multi-source twin of :meth:`propagate_from` (delta updates).
+
+        Refreshes the joint ancestor closure of ``starts`` in one per-level
+        sweep instead of once per source — a probability update re-seeds
+        every row carrying the variable and then repairs all their ancestors
+        together.  Every start is refreshed unconditionally (its stored
+        value or edge weights were just rewritten, so the changed-set test
+        would not see the mutation); the returned closure is a pure function
+        of the DAG shape, identical under both backends, which is what lets
+        callers reason about "touched" nodes without backend caveats.
+        """
+        sources = set(starts)
+        seen = self.ancestors_of_many(sources)
         if self.vectorize:
             self._refresh_levels(
                 [node for node in seen if self.child_count[node]]
             )
-            return
+            return seen
         level = self.level
         order = sorted(seen, key=lambda node: (level[node], node))
-        changed = set()
         child_start = self.child_start
         child_count = self.child_count
+        # Childless sources (re-seeded leaves and closed rows) were rewritten
+        # in place by the caller, so they count as changed from the start —
+        # refresh_one never sees them and would otherwise leave their
+        # parents' early-exit test blind to the mutation.
+        changed = {node for node in sources if child_count[node] == 0}
         edge_child = self.edge_child
         for node in order:
             count = child_count[node]
             if count == 0:
                 continue
-            if node != start:
+            if node not in sources:
                 begin = child_start[node]
                 if not any(edge_child[begin + slot] in changed for slot in range(count)):
                     continue
             if self.refresh_one(node):
                 changed.add(node)
+        return seen
 
     def refresh_all_bounds(self, vectorize: Optional[bool] = None) -> None:
         """Recompute every inner node bottom-up (one full per-level sweep).

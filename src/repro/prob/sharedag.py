@@ -60,6 +60,8 @@ from heapq import heappop, heappush
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ProbabilityError
+from repro.prob.delta import DeltaReport, apply_probability_update
+from repro.prob.delta import retire_view as _retire_view
 from repro.prob.dtree import (
     _REFRESH_BASE,
     _REFRESH_FACTOR,
@@ -178,11 +180,27 @@ class SharedLineageStore:
         #: store's lifetime; rows are reclaimed when the owning cache's
         #: ``clear()`` swaps in a fresh store.
         self.reset_epoch = 0
+        #: Rows counted as potential garbage by :meth:`retire_view`.  Purely
+        #: accounting (the table is append-only); crossing ``max_nodes``
+        #: triggers an epoch reset.  Zeroed by :meth:`reset_nodes`.
+        self.retired_nodes = 0
         self._nodes: Dict[FrozenSet[Clause], int] = {}
         #: Open-leaf payloads: the DNF a leaf nid will cobranch on.  Popped
         #: on expansion; deliberately *not* dropped by :meth:`reset_nodes`,
         #: because live views keep refining leaves from earlier epochs.
         self._leaf_dnf: Dict[int, DNF] = {}
+        #: Probability-dependency registries for delta updates
+        #: (:mod:`repro.prob.delta`).  ``_const_vars`` records, per closed
+        #: product row, the member variables *in the fold order of the
+        #: original build* (so a re-seed replays the same float sequence);
+        #: ``_branch_var`` the Shannon variable of each ⊙ row; ``_var_index``
+        #: maps a variable to every row registered as depending on it
+        #: directly (append-only — stale entries, e.g. a leaf later expanded,
+        #: are filtered by kind at update time).  Like ``_leaf_dnf``, these
+        #: survive :meth:`reset_nodes`: live views keep being updatable.
+        self._const_vars: Dict[int, Tuple[int, ...]] = {}
+        self._branch_var: Dict[int, int] = {}
+        self._var_index: Dict[int, List[int]] = {}
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -234,20 +252,25 @@ class SharedLineageStore:
             return nid
         clauses = list(dnf.clauses)
         if len(clauses) == 1:
+            members = tuple(clauses[0])
             weight = 1.0
-            for variable in clauses[0]:
+            for variable in members:
                 weight *= self.probabilities[variable]
             nid = self._new_node(KIND_CLOSED, weight, weight)
             self._nodes[dnf.clauses] = nid
+            self._register_product(nid, members)
             return nid
         common = frozenset.intersection(*clauses)
         if common:
+            members = tuple(common)
             weight = 1.0
-            for variable in common:
+            for variable in members:
                 weight *= self.probabilities[variable]
             rest = DNF(clause - common for clause in clauses)
+            constant = self._constant(weight)
+            self._register_product(constant, members)
             return self._inner(
-                KIND_IND_AND, [self._constant(weight), self.build(rest)], dnf.clauses
+                KIND_IND_AND, [constant, self.build(rest)], dnf.clauses
             )
         components = _connected_components(dnf)
         if len(components) > 1:
@@ -270,11 +293,23 @@ class SharedLineageStore:
         self._nodes[key] = nid
         return nid
 
+    def _register_dependents(self, nid: int, variables: Iterable[int]) -> None:
+        """Index ``nid`` under each variable its stored numbers depend on."""
+        index = self._var_index
+        for variable in variables:
+            index.setdefault(variable, []).append(nid)
+
+    def _register_product(self, nid: int, members: Tuple[int, ...]) -> None:
+        """Record a closed product row's members (in build fold order)."""
+        self._const_vars[nid] = members
+        self._register_dependents(nid, members)
+
     def _leaf(self, dnf: DNF) -> int:
         """An open leaf with the construction bounds of ``dtree._Leaf``."""
         lower, upper = leaf_bounds(dnf, self.probabilities)
         nid = self._new_node(KIND_LEAF, lower, upper)
         self._leaf_dnf[nid] = dnf
+        self._register_dependents(nid, dnf.variables())
         return nid
 
     def build_root(self, dnf: DNF) -> int:
@@ -304,6 +339,8 @@ class SharedLineageStore:
         children = [self.build(positive), self.build(negative)]
         table.kind[leaf] = KIND_DET_OR
         table.attach_children(leaf, children, [p, 1.0 - p])
+        self._branch_var[leaf] = branch
+        self._register_dependents(leaf, (branch,))
         self.steps += 1
         table.propagate_from(leaf)
         if self.max_nodes is not None and self.node_count > self.max_nodes:
@@ -350,6 +387,25 @@ class SharedLineageStore:
             view._absorb_expansion(best, weight)
         return 1
 
+    # -- delta updates (streaming) ------------------------------------------
+
+    def update_probability(self, variable: int, probability: float) -> DeltaReport:
+        """Move one marginal and delta-propagate: re-seed every row carrying
+        ``variable`` (closed products, open-leaf bounds, ⊙ edge weights) and
+        repair their joint ancestor closure in one multi-source per-level
+        pass (:func:`repro.prob.delta.apply_probability_update`).  After the
+        call every closed row holds the bit-identical value a from-scratch
+        compilation under the new space would hold.  The returned
+        :class:`~repro.prob.delta.DeltaReport` lists the touched nids —
+        views whose root is outside it are provably unaffected."""
+        return apply_probability_update(self, variable, probability)
+
+    def retire_view(self, view: "SharedDTree") -> int:
+        """Retire a deleted tuple's view: count its reachable rows as
+        potential garbage and reset the intern generation once the retired
+        total passes ``max_nodes`` (:func:`repro.prob.delta.retire_view`)."""
+        return _retire_view(self, view)
+
     def reset_nodes(self) -> None:
         """Drop the intern table and the clause interner (pure accelerators —
         live views keep their nids and stay fully functional; new builds and
@@ -360,6 +416,7 @@ class SharedLineageStore:
         owning cache's ``clear()`` swaps in a fresh store."""
         self._nodes = {}
         self.node_count = 0
+        self.retired_nodes = 0
         self.reset_epoch += 1
         self.interner = ClauseInterner()
 
@@ -387,6 +444,13 @@ class SharedLineageStore:
             "steps": self.steps,
             "node_count": self.node_count,
             "max_nodes": self.max_nodes,
+            # Delta-update registries: product members in build fold order
+            # (ints, so the tuples ship safely) and ⊙ branch variables.  The
+            # variable index is rebuilt on rehydration from these plus the
+            # open-leaf DNFs.
+            "const_vars": [(nid, members) for nid, members in self._const_vars.items()],
+            "branch_vars": list(self._branch_var.items()),
+            "retired_nodes": self.retired_nodes,
         }
 
     @classmethod
@@ -406,6 +470,17 @@ class SharedLineageStore:
         store._leaf_dnf = {
             nid: dnf_from_canonical(clauses) for nid, clauses in segment["leaves"]
         }
+        store._const_vars = {
+            nid: tuple(members) for nid, members in segment.get("const_vars", [])
+        }
+        store._branch_var = dict(segment.get("branch_vars", []))
+        store.retired_nodes = segment.get("retired_nodes", 0)
+        for nid, members in store._const_vars.items():
+            store._register_dependents(nid, members)
+        for nid, branch in store._branch_var.items():
+            store._register_dependents(nid, (branch,))
+        for nid, dnf in store._leaf_dnf.items():
+            store._register_dependents(nid, dnf.variables())
         return store
 
 
@@ -461,6 +536,20 @@ class SharedDTree:
         self._rebuild_frontier()
 
     # -- frontier maintenance ----------------------------------------------
+
+    def resync(self) -> None:
+        """Re-measure the frontier against the current table state.
+
+        Standing queries call this after a delta batch touched this view's
+        root: a probability update moves leaf gaps and path influences
+        without expanding anything, so heap priorities recorded before the
+        delta no longer rank the open leaves correctly.  A full rebuild
+        (the same pass the geometric refresh runs) restores the invariant
+        that the frontier is a pure function of the table state — which is
+        what keeps post-delta step counts independent of the delta history.
+        """
+        self._rebuild_frontier()
+        self._next_rebuild = int(self.store.steps * _REFRESH_FACTOR) + _REFRESH_BASE
 
     def _rebuild_frontier(self) -> None:
         """Recompute every open leaf's influence on this root from scratch."""

@@ -17,6 +17,10 @@ with confidences:
   columnar variants.
 * :mod:`repro.sprout.topk` — bound-driven top-k/threshold refinement
   scheduling over per-tuple d-tree brackets (serial, in-process).
+* :mod:`repro.sprout.streaming` — standing top-k/threshold queries over
+  delta feeds: :class:`StandingQuery` keeps the decided set live across
+  probability updates and tuple inserts/deletes, re-deciding warm on the
+  shared DAG (``docs/streaming.md``).
 * :mod:`repro.sprout.parallel` — the parallel confidence executor:
   picklable per-tuple work units, serial/multiprocessing backends, and the
   round-based parallel top-k/threshold scheduler, with results
@@ -77,7 +81,14 @@ from repro.sprout.parallel import (
     compute_confidences,
     derive_task_seed,
 )
-from repro.sprout.topk import RefinementScheduler, SchedulerOutcome, TupleCandidate
+from repro.sprout.streaming import StandingQuery
+from repro.sprout.topk import (
+    RefinementScheduler,
+    SchedulerOutcome,
+    TupleCandidate,
+    finish_selected,
+    run_decision,
+)
 from repro.sprout.scans import (
     ScanSchedule,
     ScanStep,
@@ -109,6 +120,7 @@ __all__ = [
     "SchedulerOutcome",
     "SerialExecutor",
     "SproutEngine",
+    "StandingQuery",
     "TaskOutcome",
     "TupleCandidate",
     "compute_confidences",
@@ -128,11 +140,13 @@ __all__ = [
     "one_scan_operator_columns",
     "eager_evaluation",
     "evaluate_deterministic",
+    "finish_selected",
     "group_probability",
     "grp_statements",
     "materialize_answer",
     "needed_data_attributes",
     "one_scan_operator",
+    "run_decision",
     "scan_confidences",
     "schedule_scans",
     "sort_column_order",

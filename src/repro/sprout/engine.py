@@ -194,6 +194,13 @@ class EvaluationResult:
     tau: Optional[float] = None
     decided: bool = True
     refine_steps: int = 0
+    #: Logical steps charged by the most recent delta batch.  On one-shot
+    #: engine calls this equals ``refine_steps`` (the whole call is one cold
+    #: batch; 0 on the operator routes); on results returned by a standing
+    #: query's :meth:`repro.sprout.streaming.StandingQuery.refresh` it is the
+    #: cost of that refresh alone while ``refine_steps`` stays cumulative —
+    #: the warm/cold contrast ``benchmarks/bench_streaming.py`` asserts on.
+    delta_steps: int = 0
     #: Numeric backend of the refinement core for this evaluation ("numpy"
     #: when vectorized passes were active, "python" otherwise).
     backend: str = "python"
@@ -775,6 +782,84 @@ class SproutEngine:
             workers=workers,
         )
 
+    # -- standing (streaming) queries ----------------------------------------------
+
+    def watch_topk(
+        self,
+        query: ConjunctiveQuery,
+        k: int,
+        join_order: Optional[Sequence[str]] = None,
+        execution: Optional[str] = None,
+        confidence: Optional[str] = None,
+        max_steps: Optional[int] = None,
+    ):
+        """A live top-k answer set for ``query``: a
+        :class:`repro.sprout.streaming.StandingQuery`.
+
+        Materialises the query's answer lineage once (same pipeline as
+        :meth:`evaluate_topk`), then hands it to a standing query that keeps
+        the decided set maintained across probability updates, tuple
+        inserts, and deletes — re-deciding incrementally over its own
+        shared-lineage store instead of re-running the query.  The standing
+        query inherits this engine's substrate knobs (``shared_lineage``,
+        ``dtree_cache_size``, ``vectorize``, ``dtree_max_steps``) but owns a
+        *private* store: its probability space is mutable, the engine's is
+        bound to the database.  Standing queries always run on the
+        refinement substrate — tractable queries do not short-circuit to an
+        operator plan, because deltas need a compiled structure to propagate
+        through (exact mode still reports exact confidences).
+        """
+        if k < 1:
+            raise PlanningError(f"k must be positive, got {k}")
+        return self._watch(query, k, None, join_order, execution, confidence, max_steps)
+
+    def watch_threshold(
+        self,
+        query: ConjunctiveQuery,
+        tau: float,
+        join_order: Optional[Sequence[str]] = None,
+        execution: Optional[str] = None,
+        confidence: Optional[str] = None,
+        max_steps: Optional[int] = None,
+    ):
+        """A live τ-threshold answer set for ``query`` (see :meth:`watch_topk`)."""
+        if not 0.0 <= tau <= 1.0:
+            raise PlanningError(f"tau must be within [0, 1], got {tau}")
+        return self._watch(query, None, tau, join_order, execution, confidence, max_steps)
+
+    def _watch(
+        self,
+        query: ConjunctiveQuery,
+        k: Optional[int],
+        tau: Optional[float],
+        join_order: Optional[Sequence[str]],
+        execution: Optional[str],
+        confidence: Optional[str],
+        max_steps: Optional[int],
+    ):
+        from repro.sprout.streaming import StandingQuery
+
+        execution, confidence, _ = self._resolve_modes(
+            "dtree", "scans", execution, confidence, None
+        )
+        self._check_supported(query)
+        answer = self._answer_lineage(query, join_order, execution)
+        return StandingQuery(
+            answer.lineage,
+            answer.probabilities,
+            k=k,
+            tau=tau,
+            confidence=confidence,
+            max_steps=max_steps,
+            default_cap=self.dtree_max_steps,
+            shared_lineage=self.shared_lineage,
+            cache_nodes=self.dtree_cache_size,
+            vectorize=self.vectorize,
+            schema=answer.schema,
+            name=query.name,
+            execution=execution,
+        )
+
     def _evaluate_bounded(
         self,
         query: ConjunctiveQuery,
@@ -891,6 +976,7 @@ class SproutEngine:
             tau=tau,
             decided=outcome.decided,
             refine_steps=outcome.steps + finishing_steps,
+            delta_steps=outcome.steps + finishing_steps,
             backend=self.backend,
         )
 
@@ -1306,6 +1392,7 @@ class SproutEngine:
             epsilon=None if confidence == "exact" else epsilon,
             bounds=bounds,
             refine_steps=sum(result.steps for result in results.values()),
+            delta_steps=sum(result.steps for result in results.values()),
             backend=self.backend,
         )
 

@@ -1,0 +1,395 @@
+"""Standing top-k/threshold queries over a feed of deltas.
+
+One-shot engine calls answer "what is the top-k *now*"; monitoring workloads
+ask the engine to *keep* answering while the probability space and the
+candidate set drift — sensor confidences move, tuples arrive and retire.
+Recompiling from scratch per tick throws away exactly the work the
+shared-lineage DAG (:mod:`repro.prob.sharedag`) was built to keep: the
+compiled structure is probability-independent, so a delta only has to re-seed
+the rows carrying the changed variable and repair their ancestors
+(:mod:`repro.prob.delta`), after which the previously-decided set can be
+re-checked — and usually re-confirmed — in a handful of logical steps.
+
+:class:`StandingQuery` is that loop, packaged:
+
+* it owns a **private** lineage cache (a
+  :class:`repro.prob.sharedag.SharedDTreeCache` in shared mode) — never the
+  engine's, whose store is bound to the unmutated database probability
+  space — holding one live view per candidate tuple;
+* :meth:`update_probability` / :meth:`insert_tuple` / :meth:`delete_tuple`
+  apply deltas: updates delta-propagate through the store and re-measure
+  exactly the views whose root the delta touched (everything else keeps its
+  frontier — an untouched decided tuple never re-enters refinement);
+  inserts intern the new clauses against the standing
+  :class:`repro.prob.sharedag.ClauseInterner`, so a warm insert built from
+  already-refined subformulas decides in 0–few steps; deletes retire the
+  view with epoch-based garbage accounting;
+* :meth:`refresh` re-decides the answer set with the *same* decision
+  arithmetic as the one-shot engine — it calls
+  :func:`repro.sprout.topk.run_decision` (scheduler +
+  :func:`repro.sprout.topk.finish_selected`), so a standing decision and an
+  `evaluate_topk` over the same final state are the same code — and returns
+  a full :class:`repro.sprout.engine.EvaluationResult` whose
+  ``delta_steps`` is the cost of this batch alone (``refine_steps`` stays
+  cumulative).
+
+Construct one via :meth:`repro.sprout.engine.SproutEngine.watch_topk` /
+``watch_threshold`` (which materialise the query's answer lineage first), or
+directly from a lineage map for lineage-level monitoring.  With
+``shared_lineage=False`` the layer stays functional but non-incremental:
+probability updates flag a full rebuild of the per-tuple tree cache on the
+next refresh (the legacy object-graph trees bake marginals into their
+structure, so there is nothing to delta-propagate).
+
+Determinism: every delta is a deterministic function of (store state, delta),
+and :meth:`refresh` re-measures touched frontiers before deciding, so the
+decided set, the exact confidences of selected tuples, and the *bounds after
+closing every candidate* end bit-identical to compiling the final state from
+scratch — under either numeric backend, with backend-independent step
+counts.  (Intermediate open-leaf brackets are the one thing history leaves a
+mark on: a warm store has refined more than a cold compile of the final
+state, so non-selected bounds may be tighter — never looser than sound.)
+See ``docs/streaming.md`` for the full update model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import PlanningError, ProbabilityError
+from repro.prob.backend import backend_name
+from repro.prob.delta import DeltaReport
+from repro.prob.dtree import DEFAULT_MAX_STEPS, DTreeCache
+from repro.prob.formulas import DNF
+from repro.prob.lineage import dtrees_from_dnfs, interned_dnf
+from repro.prob.sharedag import DEFAULT_MAX_NODES, SharedDTreeCache
+from repro.sprout.topk import TupleCandidate, run_decision
+from repro.storage.relation import Relation
+from repro.storage.schema import Attribute, ColumnRole, Schema
+
+__all__ = [
+    "StandingQuery",
+]
+
+DataTuple = Tuple[object, ...]
+
+
+class StandingQuery:
+    """A live top-k or threshold answer set, maintained across delta batches.
+
+    Parameters
+    ----------
+    lineage, probabilities
+        The initial candidate set: one DNF per answer tuple, and the
+        marginals of every variable mentioned.  Both are copied; the
+        standing query owns its probability space from here on.
+    k / tau
+        Exactly one must be given: a top-k standing query or a
+        τ-threshold one (same semantics as the engine entry points).
+    confidence
+        ``"exact"`` (default) refines every selected tuple to closure on
+        each refresh — selected confidences are exact after every batch;
+        ``"approx"`` reports bracket midpoints for the decided set.
+    max_steps / default_cap
+        The budget arithmetic of :func:`repro.sprout.topk.run_decision`,
+        applied *per refresh*: ``max_steps=None`` grants each selected
+        tuple ``default_cap`` finishing steps (exhaustion raises
+        :class:`repro.errors.ApproximationBudgetError`); an explicit
+        ``max_steps`` caps the whole refresh and is reported via
+        ``decided=False``, never raised.
+    shared_lineage / cache_nodes / vectorize
+        The substrate knobs, mirroring the engine's: shared mode (default)
+        compiles candidates into one private hash-consed store and is what
+        makes deltas incremental; ``cache_nodes`` bounds it (node count);
+        ``vectorize`` picks the numeric backend (results are bit-identical
+        either way).
+    schema / name / execution
+        Result-shaping metadata for the returned
+        :class:`~repro.sprout.engine.EvaluationResult`; ``schema`` defaults
+        to synthesized ``c0..cN`` data columns.
+
+    Attributes: ``selected`` (decided data tuples, most probable first),
+    ``decided``, ``result`` (the last refresh's full result),
+    ``last_entered`` / ``last_left`` (decided-set transitions of the last
+    refresh), ``total_steps`` / ``delta_steps`` (cumulative vs. last-batch
+    logical steps).  The constructor runs the initial (cold) refresh.
+    """
+
+    def __init__(
+        self,
+        lineage: Mapping[DataTuple, DNF],
+        probabilities: Mapping[int, float],
+        *,
+        k: Optional[int] = None,
+        tau: Optional[float] = None,
+        confidence: str = "exact",
+        max_steps: Optional[int] = None,
+        default_cap: Optional[int] = DEFAULT_MAX_STEPS,
+        shared_lineage: bool = True,
+        cache_nodes: Optional[int] = DEFAULT_MAX_NODES,
+        vectorize: Optional[bool] = None,
+        schema: Optional[Schema] = None,
+        name: str = "standing",
+        execution: str = "row",
+    ):
+        if (k is None) == (tau is None):
+            raise PlanningError("a standing query needs exactly one of k or tau")
+        if k is not None and k < 1:
+            raise PlanningError(f"k must be positive, got {k}")
+        if tau is not None and not 0.0 <= tau <= 1.0:
+            raise PlanningError(f"tau must be within [0, 1], got {tau}")
+        if confidence not in ("exact", "approx"):
+            raise PlanningError(
+                f"unknown confidence mode {confidence!r}; choose from ('exact', 'approx')"
+            )
+        self.k = k
+        self.tau = tau
+        self.confidence = confidence
+        self.max_steps = max_steps
+        self.default_cap = default_cap
+        self.shared_lineage = bool(shared_lineage)
+        self.name = name
+        self._schema = schema
+        self._execution = execution
+        self._cache: Union[SharedDTreeCache, DTreeCache] = (
+            SharedDTreeCache(max_nodes=cache_nodes, vectorize=vectorize)
+            if self.shared_lineage
+            else DTreeCache(max_nodes=cache_nodes)
+        )
+        self._cache_nodes = cache_nodes
+        self.probabilities: Dict[int, float] = dict(probabilities)
+        self.lineage: Dict[DataTuple, DNF] = {}
+        self._candidates: Dict[DataTuple, TupleCandidate] = {}
+        #: Legacy-mode (shared_lineage=False) rebuild flag: per-tuple trees
+        #: bake marginals into their structure, so a probability update
+        #: forces a fresh compile of every candidate on the next refresh.
+        self._stale_probabilities = False
+        self.selected: List[DataTuple] = []
+        self.decided = True
+        self.last_entered: List[DataTuple] = []
+        self.last_left: List[DataTuple] = []
+        self.total_steps = 0
+        self.delta_steps = 0
+        self.result = None
+        for data, dnf in lineage.items():
+            self._admit(tuple(data), dnf)
+        self.refresh()
+
+    # -- candidate plumbing -------------------------------------------------
+
+    @property
+    def _store(self):
+        return self._cache.store if self.shared_lineage else None
+
+    @property
+    def _interner(self):
+        return self._cache.interner if self.shared_lineage else None
+
+    def _admit(self, data: DataTuple, dnf: DNF) -> None:
+        if self._stale_probabilities:
+            # Legacy cache is bound to the pre-update probability space; a
+            # pending rebuild must land before it can admit a new tree.
+            self._rebuild_legacy()
+        dnf = interned_dnf(dnf.clauses, self._interner)
+        self.lineage[data] = dnf
+        tree = self._cache.get(dnf, self.probabilities)
+        self._candidates[data] = TupleCandidate(data, tree=tree)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def cache_stats(self) -> Dict[str, object]:
+        """The standing cache's counters, in the engine's ``cache_stats`` shape."""
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "evictions": self._cache.evictions,
+            "entries": len(self._cache),
+            "shared_lineage": self.shared_lineage,
+            "backend": self._backend(),
+        }
+
+    def _backend(self) -> str:
+        store = self._store
+        return backend_name(store.table.vectorize if store is not None else False)
+
+    # -- deltas --------------------------------------------------------------
+
+    def update_probability(self, variable: int, probability: float) -> Optional[DeltaReport]:
+        """Move one marginal; delta-propagate and re-measure touched views.
+
+        Shared mode re-seeds the store rows carrying ``variable``, repairs
+        their ancestor closure in one multi-source pass, and rebuilds the
+        frontier of exactly the views whose root lies in the touched
+        closure — a decided tuple whose lineage does not reach an updated
+        node keeps its frontier and its decision.  Returns the store's
+        :class:`~repro.prob.delta.DeltaReport` (``None`` in legacy mode,
+        where the update schedules a full rebuild on the next refresh).
+        The new answer set materialises on the next :meth:`refresh`.
+        """
+        probability = float(probability)
+        if not 0.0 <= probability <= 1.0:
+            raise ProbabilityError(
+                f"probability must be within [0, 1], got {probability}"
+            )
+        if not self.shared_lineage:
+            previous = self.probabilities.get(variable)
+            self.probabilities[variable] = probability
+            if previous != probability:
+                self._stale_probabilities = True
+            return None
+        report = self._store.update_probability(variable, probability)
+        self.probabilities[variable] = probability
+        if report.touched:
+            for candidate in self._candidates.values():
+                tree = candidate.tree
+                if tree is not None and tree.root in report.touched:
+                    tree.resync()
+        return report
+
+    def insert_tuple(
+        self,
+        data: Iterable[object],
+        lineage: Union[DNF, Iterable[Iterable[int]]],
+        probabilities: Optional[Mapping[int, float]] = None,
+    ) -> DataTuple:
+        """Admit a new candidate tuple (replacing any existing one for ``data``).
+
+        ``lineage`` is the tuple's DNF (or raw clause iterables); its
+        clauses are interned against the standing store's clause interner,
+        so subformulas the store already compiled are hash-consed onto the
+        existing — possibly already refined — rows: a warm insert often
+        decides in 0–few steps on the next :meth:`refresh`.
+        ``probabilities`` supplies marginals for variables the standing
+        space has not seen; re-binding a known variable to a different
+        value is rejected (that is :meth:`update_probability`'s job).
+        """
+        data = tuple(data)
+        if probabilities:
+            for variable, value in probabilities.items():
+                value = float(value)
+                if not 0.0 <= value <= 1.0:
+                    raise ProbabilityError(
+                        f"probability must be within [0, 1], got {value}"
+                    )
+                existing = self.probabilities.get(variable)
+                if existing is None:
+                    self.probabilities[variable] = value
+                elif existing != value:
+                    raise ProbabilityError(
+                        f"variable {variable} is already bound to {existing}; "
+                        f"use update_probability() to move it"
+                    )
+        dnf = lineage if isinstance(lineage, DNF) else DNF(lineage)
+        if data in self._candidates:
+            self.delete_tuple(data)
+        self._admit(data, dnf)
+        return data
+
+    def delete_tuple(self, data: Iterable[object]) -> int:
+        """Retire a candidate tuple; returns the rows counted as garbage.
+
+        The view's reachable rows are charged to the store's epoch-based
+        garbage accounting (:func:`repro.prob.delta.retire_view`) — an
+        upper bound, since hash-consed rows shared with surviving tuples
+        stay live.  Deleting an unknown tuple raises
+        :class:`repro.errors.PlanningError`.
+        """
+        data = tuple(data)
+        candidate = self._candidates.pop(data, None)
+        if candidate is None:
+            raise PlanningError(f"unknown standing tuple {data!r}")
+        self.lineage.pop(data, None)
+        store = self._store
+        if store is not None and candidate.tree is not None:
+            return store.retire_view(candidate.tree)
+        return 0
+
+    # -- re-decide -----------------------------------------------------------
+
+    def _rebuild_legacy(self) -> None:
+        """Legacy-mode probability change: recompile every candidate fresh."""
+        self._cache = DTreeCache(max_nodes=self._cache_nodes)
+        trees = dtrees_from_dnfs(self.lineage, self.probabilities, cache=self._cache)
+        self._candidates = {
+            data: TupleCandidate(data, tree=tree) for data, tree in trees.items()
+        }
+        self._stale_probabilities = False
+
+    def refresh(self):
+        """Re-decide the answer set against the current (post-delta) state.
+
+        Runs the engine's own decision routine
+        (:func:`repro.sprout.topk.run_decision`) over the standing
+        candidates — scheduler plus exact-mode finishing, identical budget
+        arithmetic — and records the decided-set transitions.  Returns an
+        :class:`~repro.sprout.engine.EvaluationResult` whose
+        ``delta_steps`` is the logical steps this refresh spent and whose
+        ``refine_steps`` is the standing query's cumulative total.
+        """
+        from repro.sprout.engine import EvaluationResult
+
+        if self._stale_probabilities:
+            self._rebuild_legacy()
+        candidates = list(self._candidates.values())
+        outcome, finishing_steps = run_decision(
+            candidates,
+            self.k,
+            self.tau,
+            self.confidence,
+            self.max_steps,
+            self.default_cap,
+            store=self._store,
+        )
+        delta_steps = outcome.steps + finishing_steps
+        self.delta_steps = delta_steps
+        self.total_steps += delta_steps
+        ordered = sorted(outcome.selected, key=lambda c: (-c.midpoint, repr(c.data)))
+        new_selected = [c.data for c in ordered]
+        previous = set(self.selected)
+        current = set(new_selected)
+        self.last_entered = [data for data in new_selected if data not in previous]
+        self.last_left = sorted(
+            (data for data in previous if data not in current), key=repr
+        )
+        self.selected = new_selected
+        self.decided = outcome.decided
+        relation = self._relation(
+            (candidate.data, candidate.midpoint) for candidate in ordered
+        )
+        self.result = EvaluationResult(
+            query_name=self.name,
+            plan_style="dtree",
+            relation=relation,
+            signature=None,
+            execution=self._execution,
+            confidence=self.confidence,
+            epsilon=None,
+            bounds=outcome.bounds(),
+            k=self.k,
+            tau=self.tau,
+            decided=outcome.decided,
+            refine_steps=self.total_steps,
+            delta_steps=delta_steps,
+            backend=self._backend(),
+        )
+        return self.result
+
+    def _relation(self, items) -> Relation:
+        if self._schema is not None:
+            data_attributes = [a for a in self._schema if a.role is ColumnRole.DATA]
+        else:
+            arity = len(next(iter(self._candidates))) if self._candidates else 0
+            data_attributes = [Attribute(f"c{i}") for i in range(arity)]
+        schema = Schema(list(data_attributes) + [Attribute("conf", "float")])
+        relation = Relation(self.name, schema)
+        for data, confidence in items:
+            relation.append(tuple(data) + (confidence,))
+        return relation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        goal = f"k={self.k}" if self.k is not None else f"tau={self.tau}"
+        return (
+            f"StandingQuery({self.name!r}, {goal}, {len(self._candidates)} candidates, "
+            f"{len(self.selected)} selected, steps={self.total_steps})"
+        )

@@ -60,6 +60,7 @@ __all__ = [
     "TupleCandidate",
     "SchedulerOutcome",
     "RefinementScheduler",
+    "finish_selected",
     "run_decision",
 ]
 
@@ -376,24 +377,49 @@ def run_decision(
         store=store,
     )
     outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
-    finishing_steps = 0
-    if confidence == "exact":
-        # The decision needed only bounds; exact mode still reports exact
-        # confidences for the tuples it returns (and only for those).
-        finishing_budget = None if max_steps is None else max(0, max_steps - outcome.steps)
-        for candidate in outcome.selected:
-            if candidate.tree is None or candidate.exact:
-                continue
-            if finishing_budget is None:
-                remaining = default_cap
-            else:
-                remaining = finishing_budget - finishing_steps
-            try:
-                result = refine_to_budget(candidate.tree, epsilon=0.0, max_steps=remaining)
-                finishing_steps += result.steps
-            except ApproximationBudgetError as error:
-                finishing_steps += error.steps
-                if max_steps is None:
-                    raise
-                break  # explicit cap: report the midpoints we have
+    finishing_steps = finish_selected(
+        outcome.selected, confidence, max_steps, outcome.steps, default_cap
+    )
     return outcome, finishing_steps
+
+
+def finish_selected(
+    selected: List[TupleCandidate],
+    confidence: str,
+    max_steps: Optional[int],
+    spent_steps: int,
+    default_cap: Optional[int],
+) -> int:
+    """Exact-mode finishing: refine each selected candidate to closure.
+
+    The decision needed only bounds; exact mode still reports exact
+    confidences for the tuples it returns (and only for those).  Factored
+    out of :func:`run_decision` so the streaming re-decide path
+    (:mod:`repro.sprout.streaming`) finishes its selected set with the very
+    same budget arithmetic as the one-shot engine routes: with
+    ``max_steps=None`` each tuple gets the per-tuple ``default_cap`` and
+    exhaustion raises :class:`repro.errors.ApproximationBudgetError`; an
+    explicit ``max_steps`` shares the leftover after the ``spent_steps``
+    already charged, sequentially across tuples, and is reported, never
+    raised.  Returns the expansions performed; a no-op outside exact mode.
+    """
+    if confidence != "exact":
+        return 0
+    finishing_budget = None if max_steps is None else max(0, max_steps - spent_steps)
+    finishing_steps = 0
+    for candidate in selected:
+        if candidate.tree is None or candidate.exact:
+            continue
+        if finishing_budget is None:
+            remaining = default_cap
+        else:
+            remaining = finishing_budget - finishing_steps
+        try:
+            result = refine_to_budget(candidate.tree, epsilon=0.0, max_steps=remaining)
+            finishing_steps += result.steps
+        except ApproximationBudgetError as error:
+            finishing_steps += error.steps
+            if max_steps is None:
+                raise
+            break  # explicit cap: report the midpoints we have
+    return finishing_steps

@@ -1,0 +1,487 @@
+"""Incremental streaming evaluation: delta updates and standing queries.
+
+Store-level tests pin the delta contract — a probability update re-seeds
+exactly the rows carrying the variable and the repaired store is bit-identical
+to a from-scratch compilation under the final probability space.  Standing
+query tests run scripted and Hypothesis-generated delta interleavings
+(updates, inserts, deletes, in any order, refreshed at any point) and assert
+the warm answer — decided set, selected exact confidences, decided flag —
+equals a fresh :class:`StandingQuery` built from the final state, under either
+numeric backend with backend-independent step counts.  Engine-level tests
+cover the ``watch_topk`` / ``watch_threshold`` entry points and the
+``delta_steps`` field on one-shot results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Atom, ConjunctiveQuery, ProbabilisticDatabase, SproutEngine
+from repro.errors import PlanningError, ProbabilityError
+from repro.prob import HAS_NUMPY
+from repro.prob.dtree import DTree, refine_to_budget
+from repro.prob.formulas import DNF
+from repro.prob.sharedag import SharedDTree, SharedLineageStore
+from repro.sprout.streaming import StandingQuery
+from repro.storage import Relation, Schema
+
+# ---------------------------------------------------------------------------
+# strategies: lineage families plus delta scripts against them
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def lineage_family(draw):
+    """2–4 DNFs drawing clauses from one shared pool (≤ 10 variables)."""
+    nvars = draw(st.integers(4, 10))
+    probability = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+    probabilities = {v: draw(probability) for v in range(nvars)}
+    clause = st.sets(st.integers(0, nvars - 1), min_size=1, max_size=3).map(frozenset)
+    pool = draw(st.lists(clause, min_size=2, max_size=6, unique=True))
+    members = []
+    for _ in range(draw(st.integers(2, 4))):
+        shared = draw(
+            st.lists(st.sampled_from(pool), min_size=1, max_size=len(pool), unique=True)
+        )
+        private = draw(st.lists(clause, min_size=0, max_size=3))
+        members.append(DNF(shared + private))
+    return members, probabilities
+
+
+@st.composite
+def delta_script(draw):
+    """A lineage family plus 1–6 deltas (update/insert/delete/refresh)."""
+    members, probabilities = draw(lineage_family())
+    nvars = len(probabilities)
+    probability = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+    clause = st.sets(st.integers(0, nvars - 1), min_size=1, max_size=3).map(frozenset)
+    ops = []
+    for _ in range(draw(st.integers(1, 6))):
+        kind = draw(st.sampled_from(["update", "insert", "delete", "refresh"]))
+        if kind == "update":
+            ops.append(("update", draw(st.integers(0, nvars - 1)), draw(probability)))
+        elif kind == "insert":
+            extra = draw(st.lists(clause, min_size=1, max_size=3, unique=True))
+            ops.append(("insert", DNF(extra)))
+        elif kind == "delete":
+            ops.append(("delete", draw(st.integers(0, 7))))
+        else:
+            ops.append(("refresh",))
+    return members, probabilities, ops
+
+
+def closed_bounds(view):
+    view.refine(epsilon=0.0)
+    return view.bounds()
+
+
+def apply_script(query: StandingQuery, ops) -> None:
+    """Replay a delta script; delete indices wrap over the live candidates."""
+    inserted = 0
+    for op in ops:
+        if op[0] == "update":
+            query.update_probability(op[1], op[2])
+        elif op[0] == "insert":
+            query.insert_tuple((f"new{inserted}",), op[1])
+            inserted += 1
+        elif op[0] == "delete":
+            if len(query) <= 1:
+                continue
+            data = sorted(query.lineage, key=repr)[op[1] % len(query)]
+            query.delete_tuple(data)
+        else:
+            query.refresh()
+    query.refresh()
+
+
+def selected_confidences(query: StandingQuery):
+    """(data, confidence) pairs of the last refresh, in reported order."""
+    return [tuple(row) for row in query.result.relation]
+
+
+# ---------------------------------------------------------------------------
+# store-level delta propagation
+# ---------------------------------------------------------------------------
+
+
+class TestStoreDeltas:
+    def test_update_validates_range(self):
+        store = SharedLineageStore()
+        with pytest.raises(ProbabilityError):
+            store.update_probability(0, -0.1)
+        with pytest.raises(ProbabilityError):
+            store.update_probability(0, 1.5)
+
+    def test_noop_and_unknown_variable_updates(self):
+        store = SharedLineageStore()
+        dnf = DNF([[0, 1], [1, 2]])
+        store.add_probabilities(dnf, {0: 0.5, 1: 0.4, 2: 0.3})
+        SharedDTree(store, dnf)
+        assert store.update_probability(0, 0.5).is_noop  # unchanged value
+        assert store.update_probability(99, 0.7).is_noop  # no dependent rows
+        assert store.probabilities[99] == 0.7  # but the space did move
+
+    @given(lineage_family(), st.integers(0, 3), st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_closed_update_is_bit_identical_to_cold_compile(self, family, which, p):
+        """Refine to closure, update, re-close: equals compiling the final space."""
+        members, probabilities = family
+        variable = which % len(probabilities)
+        store = SharedLineageStore()
+        for dnf in members:
+            store.add_probabilities(dnf, probabilities)
+        views = [SharedDTree(store, dnf) for dnf in members]
+        for view in views:
+            view.refine(epsilon=0.0)
+        store.update_probability(variable, p)
+        for view in views:
+            view.resync()
+        warm = [closed_bounds(view) for view in views]
+
+        final = dict(probabilities)
+        final[variable] = p
+        cold_store = SharedLineageStore()
+        for dnf in members:
+            cold_store.add_probabilities(dnf, final)
+        cold = [closed_bounds(SharedDTree(cold_store, dnf)) for dnf in members]
+        assert warm == cold  # bit-identical, not approximately
+
+    @given(lineage_family(), st.integers(0, 3), st.floats(0.05, 0.95), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_mid_refinement_update_stays_sound_and_exact(self, family, which, p, head):
+        """An update landing on a half-refined store still closes to the truth."""
+        members, probabilities = family
+        variable = which % len(probabilities)
+        store = SharedLineageStore()
+        for dnf in members:
+            store.add_probabilities(dnf, probabilities)
+        views = [SharedDTree(store, dnf) for dnf in members]
+        for view in views:
+            view.refine(head)  # partial work only
+        store.update_probability(variable, p)
+        final = dict(probabilities)
+        final[variable] = p
+        for view, dnf in zip(views, members):
+            view.resync()
+            lower, upper = view.bounds()
+            assert lower <= upper + 1e-12
+            lower, upper = closed_bounds(view)
+            truth = refine_to_budget(
+                DTree(dnf, final), epsilon=0.0, max_steps=None
+            ).probability
+            assert lower == pytest.approx(truth, abs=1e-12)
+            assert upper == pytest.approx(truth, abs=1e-12)
+
+    @given(lineage_family(), st.integers(0, 3), st.floats(0.05, 0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_double_update_is_idempotent(self, family, which, p):
+        members, probabilities = family
+        variable = which % len(probabilities)
+        store = SharedLineageStore()
+        for dnf in members:
+            store.add_probabilities(dnf, probabilities)
+        views = [SharedDTree(store, dnf) for dnf in members]
+        for view in views:
+            view.refine(3)
+        first = store.update_probability(variable, p)
+        lower = list(store.table.lower)
+        upper = list(store.table.upper)
+        second = store.update_probability(variable, p)
+        assert second.is_noop
+        assert not second.touched
+        assert list(store.table.lower) == lower
+        assert list(store.table.upper) == upper
+        assert first.reseeded >= 0  # the first may or may not have been a no-op
+
+    def test_retire_counts_rows_and_resets_past_budget(self):
+        store = SharedLineageStore(max_nodes=10)
+        probabilities = {i: 0.5 for i in range(8)}
+        dnfs = [DNF([[2 * i, 2 * i + 1]]) for i in range(4)]
+        views = []
+        for dnf in dnfs:
+            store.add_probabilities(dnf, probabilities)
+            views.append(SharedDTree(store, dnf))
+        epoch = store.reset_epoch
+        counted = store.retire_view(views[0])
+        assert counted >= 1
+        assert store.retired_nodes == counted
+        for view in views[1:]:
+            counted += store.retire_view(view)
+        # enough retirements crossed the node budget: epoch bumped, counter zeroed
+        assert store.reset_epoch > epoch or store.retired_nodes == counted
+        if store.reset_epoch > epoch:
+            assert store.retired_nodes == 0
+
+    def test_retired_view_stays_functional(self):
+        store = SharedLineageStore()
+        dnf = DNF([[0, 1], [1, 2]])
+        store.add_probabilities(dnf, {0: 0.5, 1: 0.4, 2: 0.3})
+        view = SharedDTree(store, dnf)
+        store.retire_view(view)
+        lower, upper = closed_bounds(view)
+        truth = refine_to_budget(
+            DTree(dnf, store.probabilities), epsilon=0.0, max_steps=None
+        ).probability
+        assert lower == pytest.approx(truth, abs=1e-12)
+        assert upper == pytest.approx(truth, abs=1e-12)
+
+    def test_segment_roundtrip_preserves_delta_registries(self):
+        store = SharedLineageStore()
+        dnf = DNF([[0, 1], [1, 2], [3]])
+        store.add_probabilities(dnf, {0: 0.5, 1: 0.4, 2: 0.3, 3: 0.2})
+        view = SharedDTree(store, dnf)
+        view.refine(epsilon=0.0)
+        restored = SharedLineageStore.from_segment(store.export_segment())
+        report = restored.update_probability(1, 0.9)
+        assert not report.is_noop
+        twin = SharedDTree.from_root(restored, view.root)
+        twin.resync()
+        truth = refine_to_budget(
+            DTree(dnf, {0: 0.5, 1: 0.9, 2: 0.3, 3: 0.2}), epsilon=0.0, max_steps=None
+        ).probability
+        lower, upper = closed_bounds(twin)
+        assert lower == pytest.approx(truth, abs=1e-12)
+        assert upper == pytest.approx(truth, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# standing queries
+# ---------------------------------------------------------------------------
+
+
+def standing(members, probabilities, **kwargs) -> StandingQuery:
+    lineage = {(i,): dnf for i, dnf in enumerate(members)}
+    return StandingQuery(lineage, probabilities, **kwargs)
+
+
+class TestStandingQueryValidation:
+    def test_needs_exactly_one_goal(self):
+        with pytest.raises(PlanningError):
+            StandingQuery({}, {})
+        with pytest.raises(PlanningError):
+            StandingQuery({}, {}, k=1, tau=0.5)
+        with pytest.raises(PlanningError):
+            StandingQuery({}, {}, k=0)
+        with pytest.raises(PlanningError):
+            StandingQuery({}, {}, tau=1.5)
+        with pytest.raises(PlanningError):
+            StandingQuery({}, {}, k=1, confidence="mystery")
+
+    def test_update_validates_range(self):
+        query = StandingQuery({(0,): DNF([[0]])}, {0: 0.5}, k=1)
+        with pytest.raises(ProbabilityError):
+            query.update_probability(0, 1.5)
+
+    def test_delete_unknown_tuple_raises(self):
+        query = StandingQuery({(0,): DNF([[0]])}, {0: 0.5}, k=1)
+        with pytest.raises(PlanningError):
+            query.delete_tuple((7,))
+
+    def test_insert_cannot_rebind_a_variable(self):
+        query = StandingQuery({(0,): DNF([[0]])}, {0: 0.5}, k=1)
+        with pytest.raises(ProbabilityError):
+            query.insert_tuple((1,), DNF([[0]]), probabilities={0: 0.9})
+        query.insert_tuple((1,), DNF([[0, 9]]), probabilities={9: 0.25})
+        assert query.probabilities[9] == 0.25
+
+
+class TestStandingQueryDeltas:
+    def test_initial_refresh_matches_cold_decision(self):
+        members = [DNF([[0, 1], [1, 2]]), DNF([[0, 1], [2, 3]]), DNF([[3]])]
+        probabilities = {0: 0.8, 1: 0.6, 2: 0.5, 3: 0.3}
+        query = standing(members, probabilities, k=2)
+        assert query.decided
+        assert len(query.selected) == 2
+        assert query.last_entered == query.selected  # everything is new on tick 0
+        assert query.result.delta_steps == query.result.refine_steps
+
+    def test_update_redecides_and_tracks_transitions(self):
+        members = [DNF([[0]]), DNF([[1]]), DNF([[2]])]
+        probabilities = {0: 0.9, 1: 0.5, 2: 0.1}
+        query = standing(members, probabilities, k=1)
+        assert query.selected == [(0,)]
+        report = query.update_probability(2, 0.99)
+        assert report is not None and not report.is_noop
+        query.refresh()
+        assert query.selected == [(2,)]
+        assert query.last_entered == [(2,)]
+        assert query.last_left == [(0,)]
+
+    def test_untouched_decision_costs_zero_delta_steps(self):
+        members = [DNF([[0]]), DNF([[1]]), DNF([[2]])]
+        probabilities = {0: 0.9, 1: 0.5, 2: 0.1, 7: 0.5}
+        query = standing(members, probabilities, k=1)
+        report = query.update_probability(7, 0.8)  # gates no candidate
+        assert report.is_noop
+        result = query.refresh()
+        assert result.delta_steps == 0
+        assert query.selected == [(0,)]
+
+    def test_delete_all_candidates_is_a_decided_empty_answer(self):
+        query = StandingQuery({(0,): DNF([[0]])}, {0: 0.5}, k=1)
+        query.delete_tuple((0,))
+        result = query.refresh()
+        assert query.selected == []
+        assert query.decided
+        assert len(result.relation) == 0
+
+    @given(delta_script())
+    @settings(max_examples=30, deadline=None)
+    def test_any_interleaving_matches_fresh_compilation(self, script):
+        """The streaming differential: warm end state == from-scratch end state."""
+        members, probabilities, ops = script
+        k = min(2, len(members))
+        query = standing(members, probabilities, k=k)
+        apply_script(query, ops)
+        fresh = StandingQuery(dict(query.lineage), dict(query.probabilities), k=k)
+        assert query.decided == fresh.decided
+        assert query.selected == fresh.selected
+        assert selected_confidences(query) == selected_confidences(fresh)
+
+    @given(delta_script(), st.floats(0.1, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_interleaving_matches_fresh_compilation(self, script, tau):
+        members, probabilities, ops = script
+        query = standing(members, probabilities, tau=tau)
+        apply_script(query, ops)
+        fresh = StandingQuery(dict(query.lineage), dict(query.probabilities), tau=tau)
+        assert query.decided == fresh.decided
+        assert set(query.selected) == set(fresh.selected)
+        assert sorted(selected_confidences(query), key=repr) == sorted(
+            selected_confidences(fresh), key=repr
+        )
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="needs both numeric backends")
+    @given(delta_script())
+    @settings(max_examples=15, deadline=None)
+    def test_backends_agree_on_steps_and_answers(self, script):
+        members, probabilities, ops = script
+        k = min(2, len(members))
+        runs = []
+        for vectorize in (False, True):
+            query = standing(members, probabilities, k=k, vectorize=vectorize)
+            apply_script(query, ops)
+            runs.append(
+                (query.selected, selected_confidences(query), query.total_steps)
+            )
+        assert runs[0] == runs[1]
+
+    @given(delta_script())
+    @settings(max_examples=15, deadline=None)
+    def test_legacy_mode_agrees_with_shared_mode(self, script):
+        members, probabilities, ops = script
+        k = min(2, len(members))
+        shared = standing(members, probabilities, k=k)
+        legacy = standing(members, probabilities, k=k, shared_lineage=False)
+        apply_script(shared, ops)
+        apply_script(legacy, ops)
+        assert legacy.selected == shared.selected
+        assert selected_confidences(legacy) == selected_confidences(shared)
+
+    @given(lineage_family())
+    @settings(max_examples=20, deadline=None)
+    def test_insert_delete_round_trip_restores_the_answer(self, family):
+        members, probabilities = family
+        k = min(2, len(members))
+        query = standing(members, probabilities, k=k)
+        before = (query.selected, selected_confidences(query))
+        query.insert_tuple(("extra",), DNF([next(iter(members[0].clauses))]))
+        query.refresh()
+        query.delete_tuple(("extra",))
+        query.refresh()
+        assert (query.selected, selected_confidences(query)) == before
+
+    def test_warm_insert_of_compiled_lineage_is_cheap(self):
+        members = [DNF([[0, 1], [1, 2]]), DNF([[0, 1], [2, 3]])]
+        probabilities = {0: 0.8, 1: 0.6, 2: 0.5, 3: 0.3}
+        query = standing(members, probabilities, k=1)
+        warmed = query.total_steps
+        query.insert_tuple(("twin",), DNF(members[0].clauses))  # already compiled
+        result = query.refresh()
+        assert result.delta_steps <= max(2, warmed)  # decided on warm rows
+        # interned onto the same hash-consed rows as the original tuple
+        assert query._candidates[("twin",)].tree.root == query._candidates[(0,)].tree.root
+
+
+# ---------------------------------------------------------------------------
+# engine entry points
+# ---------------------------------------------------------------------------
+
+
+def chain_query():
+    return ConjunctiveQuery(
+        "chain",
+        [Atom("R", ["a", "x"]), Atom("S", ["x", "y"]), Atom("T", ["y"])],
+        projection=["a"],
+    )
+
+
+@pytest.fixture
+def chain_db():
+    db = ProbabilisticDatabase("chain-db")
+    db.add_table(
+        Relation(
+            "R",
+            Schema.of("a:int", "x:int"),
+            [(0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (2, 2), (3, 1)],
+        ),
+        probabilities=[0.8, 0.3, 0.6, 0.4, 0.5, 0.7, 0.25],
+    )
+    db.add_table(
+        Relation(
+            "S",
+            Schema.of("x:int", "y:int"),
+            [(0, 0), (0, 1), (1, 1), (2, 0), (2, 1), (1, 0)],
+        ),
+        probabilities=[0.45, 0.85, 0.3, 0.6, 0.2, 0.75],
+    )
+    db.add_table(
+        Relation("T", Schema.of("y:int"), [(0,), (1,)]), probabilities=[0.9, 0.35]
+    )
+    return db
+
+
+class TestEngineWatch:
+    def test_watch_topk_matches_one_shot(self, chain_db):
+        engine = SproutEngine(chain_db)
+        query = chain_query()
+        watch = engine.watch_topk(query, k=2)
+        one_shot = engine.evaluate_topk(query, k=2)
+        assert watch.decided
+        expected = [tuple(row)[:-1] for row in one_shot.relation]
+        assert watch.selected == expected
+
+    def test_watch_threshold_tracks_updates(self, chain_db):
+        engine = SproutEngine(chain_db)
+        watch = engine.watch_threshold(chain_query(), tau=0.5)
+        baseline = set(watch.selected)
+        assert baseline  # the chain instance has tuples above 0.5
+        # drive every marginal to zero: the standing answer empties out
+        for variable in sorted(watch.probabilities):
+            watch.update_probability(variable, 0.0)
+        watch.refresh()
+        assert watch.selected == []
+        assert set(watch.last_left) == baseline
+
+    def test_watch_validation(self, chain_db):
+        engine = SproutEngine(chain_db)
+        with pytest.raises(PlanningError):
+            engine.watch_topk(chain_query(), k=0)
+        with pytest.raises(PlanningError):
+            engine.watch_threshold(chain_query(), tau=-0.5)
+
+    def test_watch_store_is_private(self, chain_db):
+        engine = SproutEngine(chain_db)
+        watch = engine.watch_topk(chain_query(), k=1)
+        variable = next(iter(watch.probabilities))
+        watch.update_probability(variable, 0.0)
+        # the engine's own evaluation is untouched by standing-space deltas
+        result = engine.evaluate_topk(chain_query(), k=1)
+        assert next(iter(result.relation))[-1] > 0.0
+
+    def test_one_shot_results_report_delta_steps(self, chain_db):
+        engine = SproutEngine(chain_db)
+        result = engine.evaluate_topk(chain_query(), k=2)
+        assert result.delta_steps == result.refine_steps
+        bounded = engine.evaluate(chain_query(), confidence="approx", epsilon=0.25)
+        assert bounded.delta_steps == bounded.refine_steps

@@ -1,24 +1,27 @@
 #!/usr/bin/env python3
-"""Consolidated benchmark report: run the SF 0.001 suite, emit one JSON.
+"""Consolidated benchmark reports: run an SF 0.001 suite, emit one JSON.
 
-Runs the refinement-core, shared-lineage, and top-k pruning benchmarks at
-scale factor 0.001 (one round each — the asserted quantities are
-deterministic step counts, not timings) and consolidates the per-test
-results into a single ``BENCH_refinement_core.json``:
+Two suites, each pinned to scale factor 0.001 with one round per benchmark
+(the asserted quantities are deterministic step counts, not timings):
 
-* ``benchmarks`` — per benchmark: the median wall time and every
-  ``extra_info`` counter the script recorded (refinement steps, cache hits,
-  sweep timings, speedup ratios);
-* ``summary`` — the headline numbers the perf trajectory tracks: the
-  vectorized-vs-scalar bound-propagation sweep ratio of the columnar node
-  table, and the logical steps to decide the unsafe TPC-H brand top-10
-  under the shared-DAG scheduler vs. the per-tuple schedulers.
+* ``core`` (default) — the refinement-core, shared-lineage, and top-k
+  pruning benchmarks, consolidated into ``BENCH_refinement_core.json``:
+  the vectorized-vs-scalar bound-propagation sweep ratio of the columnar
+  node table, and the logical steps to decide the unsafe TPC-H brand
+  top-10 under the shared-DAG scheduler vs. the per-tuple schedulers.
+* ``streaming`` — the delta re-decide benchmarks
+  (``benchmarks/bench_streaming.py``), consolidated into
+  ``BENCH_streaming.json``: the warm-vs-cold step contrast of a standing
+  top-10 query absorbing a probability update, and the structural
+  delete/re-insert round trip.
 
-CI uploads the file as an artifact on every push (``smoke-benchmark`` job),
-seeding a comparable series of step counts and wall times across commits.
-Run locally from the repository root:
+Each report carries the per-benchmark median wall times and every
+``extra_info`` counter, plus a ``summary`` with the headline numbers the
+perf trajectory tracks.  CI uploads both files as artifacts on every push
+(``smoke-benchmark`` job), seeding a comparable series of step counts and
+wall times across commits.  Run locally from the repository root:
 
-    python tools/bench_report.py [output.json]
+    python tools/bench_report.py [--suite core|streaming] [output.json]
 
 The report fails loudly: a missing raw-result file, a benchmark that did
 not run, or an ``extra_info`` counter that a benchmark stopped recording
@@ -28,6 +31,7 @@ written.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import statistics
@@ -37,19 +41,13 @@ import tempfile
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
-BENCHMARKS = [
-    "benchmarks/bench_refinement_core.py",
-    "benchmarks/bench_shared_lineage.py",
-    "benchmarks/bench_topk_pruning.py",
-]
-DEFAULT_OUTPUT = "BENCH_refinement_core.json"
 
 
 class ReportError(RuntimeError):
     """A benchmark artifact the report depends on is missing or incomplete."""
 
 
-def run_benchmarks(raw_json: Path) -> int:
+def run_benchmarks(benchmarks: list, raw_json: Path) -> int:
     environment = dict(os.environ)
     environment.setdefault("REPRO_TPCH_SF", "0.001")
     environment.setdefault("REPRO_BENCH_ROUNDS", "1")
@@ -62,7 +60,7 @@ def run_benchmarks(raw_json: Path) -> int:
         "-m",
         "pytest",
         "-q",
-        *BENCHMARKS,
+        *benchmarks,
         "--benchmark-min-rounds=1",
         "--benchmark-disable-gc",
         f"--benchmark-json={raw_json}",
@@ -71,7 +69,10 @@ def run_benchmarks(raw_json: Path) -> int:
     return completed.returncode
 
 
-def consolidate(raw_json: Path) -> dict:
+def collect(raw_json: Path):
+    """The per-benchmark entries of a raw pytest-benchmark file, plus an
+    ``extra(name_fragment, key)`` accessor that fails loudly on anything a
+    benchmark stopped recording."""
     if not raw_json.is_file():
         raise ReportError(
             f"benchmark run produced no raw result file at {raw_json} "
@@ -115,6 +116,32 @@ def consolidate(raw_json: Path) -> dict:
             "did the suite list change without updating the report?"
         )
 
+    return raw, benchmarks, extra
+
+
+def wall_clock_summary(summary: dict, raw: dict, benchmarks: list) -> dict:
+    summary["wall_seconds_total_median"] = sum(
+        bench["wall_seconds_median"]
+        for bench in benchmarks
+        if bench["wall_seconds_median"] is not None
+    )
+    medians = [
+        bench["wall_seconds_median"]
+        for bench in benchmarks
+        if bench["wall_seconds_median"] is not None
+    ]
+    if medians:
+        summary["wall_seconds_median_of_medians"] = statistics.median(medians)
+    summary["machine_info"] = {
+        "cpu": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+        "cores": raw.get("machine_info", {}).get("cpu", {}).get("count"),
+    }
+    summary["python"] = raw.get("machine_info", {}).get("python_version")
+    return summary
+
+
+def consolidate_core(raw_json: Path) -> dict:
+    raw, benchmarks, extra = collect(raw_json)
     shared_steps = extra("test_topk_shared_vs_per_tuple_schedulers", "shared_steps")
     per_tuple_steps = extra(
         "test_topk_shared_vs_per_tuple_schedulers", "per_tuple_scheduler_steps"
@@ -154,49 +181,96 @@ def consolidate(raw_json: Path) -> dict:
         "canonical_cache_speedup": extra(
             "test_canonical_clause_caching", "cache_speedup"
         ),
-        "wall_seconds_total_median": sum(
-            bench["wall_seconds_median"]
-            for bench in benchmarks
-            if bench["wall_seconds_median"] is not None
-        ),
-        "machine_info": {
-            "cpu": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
-            "cores": raw.get("machine_info", {}).get("cpu", {}).get("count"),
-        },
-        "python": raw.get("machine_info", {}).get("python_version"),
     }
-    medians = [
-        bench["wall_seconds_median"]
-        for bench in benchmarks
-        if bench["wall_seconds_median"] is not None
-    ]
-    if medians:
-        summary["wall_seconds_median_of_medians"] = statistics.median(medians)
+    wall_clock_summary(summary, raw, benchmarks)
     return {"summary": summary, "benchmarks": benchmarks}
 
 
-def main() -> int:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / DEFAULT_OUTPUT
-    with tempfile.TemporaryDirectory() as scratch:
-        raw_json = Path(scratch) / "raw-benchmark.json"
-        status = run_benchmarks(raw_json)
-        if status != 0:
-            print(f"FAIL benchmark run exited with status {status}", file=sys.stderr)
-            return status
-        try:
-            report = consolidate(raw_json)
-        except ReportError as error:
-            print(f"FAIL bench report: {error}", file=sys.stderr)
-            return 1
-    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", "utf-8")
-    core = report["summary"]["refinement_core"]
-    steps = report["summary"]["topk_decision_steps"]
+def consolidate_streaming(raw_json: Path) -> dict:
+    raw, benchmarks, extra = collect(raw_json)
+    cold_steps = extra("test_probability_update_redecides_warm", "cold_steps")
+    warm_steps = extra("test_probability_update_redecides_warm", "warm_delta_steps")
+    summary = {
+        "workload": "standing unsafe TPC-H brand top-10 under deltas, SF 0.001",
+        "delta_redecide_steps": {
+            "cold_build": cold_steps,
+            "fresh_rebuild": extra(
+                "test_probability_update_redecides_warm", "fresh_cold_steps"
+            ),
+            "warm_refresh": warm_steps,
+            "delete_insert_round_trip": extra(
+                "test_delete_insert_round_trip_is_warm", "round_trip_steps"
+            ),
+        },
+        "reseeded_rows": extra("test_probability_update_redecides_warm", "reseeded_rows"),
+        "touched_nodes": extra("test_probability_update_redecides_warm", "touched_nodes"),
+        "speedup_vs_cold": cold_steps / max(1, warm_steps),
+    }
+    wall_clock_summary(summary, raw, benchmarks)
+    return {"summary": summary, "benchmarks": benchmarks}
+
+
+def print_core(summary: dict, output: Path) -> None:
+    core = summary["refinement_core"]
+    steps = summary["topk_decision_steps"]
     print(
         f"bench report OK: sweep speedup={core['vector_speedup']:.2f}x "
         f"({core['backend']} backend), shared={steps['shared_dag']} steps, "
         f"per-tuple scheduler={steps['per_tuple_scheduler']}, "
         f"legacy serial={steps['legacy_serial']} -> {output}"
     )
+
+
+def print_streaming(summary: dict, output: Path) -> None:
+    steps = summary["delta_redecide_steps"]
+    print(
+        f"bench report OK: warm refresh={steps['warm_refresh']} steps vs "
+        f"cold build={steps['cold_build']} "
+        f"({summary['speedup_vs_cold']:.1f}x), "
+        f"round trip={steps['delete_insert_round_trip']} -> {output}"
+    )
+
+
+SUITES = {
+    "core": {
+        "benchmarks": [
+            "benchmarks/bench_refinement_core.py",
+            "benchmarks/bench_shared_lineage.py",
+            "benchmarks/bench_topk_pruning.py",
+        ],
+        "output": "BENCH_refinement_core.json",
+        "consolidate": consolidate_core,
+        "print": print_core,
+    },
+    "streaming": {
+        "benchmarks": ["benchmarks/bench_streaming.py"],
+        "output": "BENCH_streaming.json",
+        "consolidate": consolidate_streaming,
+        "print": print_streaming,
+    },
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(SUITES), default="core")
+    parser.add_argument("output", nargs="?", default=None)
+    options = parser.parse_args()
+    suite = SUITES[options.suite]
+    output = Path(options.output) if options.output else REPO / suite["output"]
+    with tempfile.TemporaryDirectory() as scratch:
+        raw_json = Path(scratch) / "raw-benchmark.json"
+        status = run_benchmarks(suite["benchmarks"], raw_json)
+        if status != 0:
+            print(f"FAIL benchmark run exited with status {status}", file=sys.stderr)
+            return status
+        try:
+            report = suite["consolidate"](raw_json)
+        except ReportError as error:
+            print(f"FAIL bench report: {error}", file=sys.stderr)
+            return 1
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", "utf-8")
+    suite["print"](report["summary"], output)
     return 0
 
 
