@@ -49,6 +49,30 @@ class PlanningError(ReproError):
     """Raised when a requested plan (safe, eager, hybrid, ...) cannot be built."""
 
 
+class ConfigurationError(PlanningError, ValueError):
+    """Raised for malformed configuration knobs (environment variables).
+
+    Every ``REPRO_*`` environment knob is parsed by the one shared parser in
+    :mod:`repro.config`, and a malformed value raises this class everywhere —
+    at engine construction, at backend selection, and at service start-up —
+    with uniform wording.  It derives from both :class:`PlanningError` (the
+    historical type engine construction raised for bad knobs) and the
+    documented :class:`ValueError`, so both catch styles keep working.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised by the query service (:mod:`repro.service`) for request-level
+    failures: malformed request bodies, unknown subscriptions, budgets
+    outside the server's configured ceiling."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control rejects a request because the bounded
+    refinement queue is full.  The HTTP layer maps it to ``429`` — the
+    client should retry after the in-flight work drains."""
+
+
 class UnsafePlanError(PlanningError):
     """Raised when a safe plan is requested for a query that admits none."""
 

@@ -13,13 +13,17 @@ operation for operation, preserving accumulation order — so the backend is a
 pure throughput choice, never a semantic one.  ``REPRO_VECTORIZE=0`` forces
 the scalar path even when NumPy is installed (the CI hook for the pure-Python
 leg); ``REPRO_VECTORIZE=1`` without NumPy still runs scalar (there is nothing
-to vectorize with).
+to vectorize with).  A malformed ``REPRO_VECTORIZE`` raises
+:class:`repro.errors.ConfigurationError` like every other knob
+(:mod:`repro.config` is the one shared parser) — it used to be silently
+ignored, so a typo for ``false`` ran vectorized without a word.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Optional
+
+from repro.config import env_flag
 
 try:  # pragma: no cover - which branch runs depends on the installed extras
     import numpy as _numpy
@@ -37,25 +41,15 @@ def numpy_or_none():
     return _numpy
 
 
-def _env_flag(name: str) -> Optional[bool]:
-    value = os.environ.get(name, "").strip().lower()
-    if not value:
-        return None
-    if value in ("0", "false", "no", "off"):
-        return False
-    if value in ("1", "true", "yes", "on"):
-        return True
-    return None
-
-
 def default_vectorize() -> bool:
     """Whether bound propagation should run vectorized by default.
 
     True exactly when NumPy is importable and ``REPRO_VECTORIZE`` does not
     say otherwise.  Read per call (not cached) so tests and CI legs can flip
-    the environment variable without re-importing the package.
+    the environment variable without re-importing the package.  A malformed
+    value raises :class:`repro.errors.ConfigurationError`.
     """
-    flag = _env_flag("REPRO_VECTORIZE")
+    flag = env_flag("REPRO_VECTORIZE")
     if flag is None:
         return HAS_NUMPY
     return flag and HAS_NUMPY

@@ -81,6 +81,7 @@ class NodeTable:
         "edge_weight",
         "edge_next",
         "vectorize",
+        "mutations",
     )
 
     def __init__(self, vectorize: Optional[bool] = None):
@@ -98,6 +99,13 @@ class NodeTable:
         if vectorize is None:
             vectorize = default_vectorize()
         self.vectorize = bool(vectorize) and numpy_or_none() is not None
+        #: Structural mutation counter: bumped on every node append and every
+        #: child attachment (including the in-place leaf → ⊙ expansion).  A
+        #: concurrent reader — the query service's stats endpoint, a test
+        #: fingerprinting store state — can compare counter values taken
+        #: before and after a read to detect that a refinement slipped in
+        #: between, without holding the store lock across the whole read.
+        self.mutations = 0
 
     # arrays pickle natively; spelling the state out keeps the wire format
     # explicit for the parallel executor's store-segment shipping.
@@ -105,6 +113,7 @@ class NodeTable:
         return {name: getattr(self, name) for name in self.__slots__}
 
     def __setstate__(self, state):
+        self.mutations = 0  # absent from segments shipped by older builds
         for name, value in state.items():
             setattr(self, name, value)
 
@@ -123,6 +132,7 @@ class NodeTable:
         self.child_start.append(-1)
         self.child_count.append(0)
         self.in_head.append(-1)
+        self.mutations += 1
         return nid
 
     def attach_children(
@@ -147,6 +157,7 @@ class NodeTable:
             self.edge_weight.append(1.0 if weights is None else weights[slot])
             self.edge_next.append(self.in_head[child])
             self.in_head[child] = edge
+        self.mutations += 1
         self._lift_levels(nid)
 
     def _lift_levels(self, nid: int) -> None:

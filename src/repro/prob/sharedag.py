@@ -56,6 +56,8 @@ user-facing guides.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from heapq import heappop, heappush
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -201,14 +203,73 @@ class SharedLineageStore:
         self._const_vars: Dict[int, Tuple[int, ...]] = {}
         self._branch_var: Dict[int, int] = {}
         self._var_index: Dict[int, List[int]] = {}
+        #: Concurrency discipline (the query service's contract).  The
+        #: re-entrant lock serialises every mutating entry point —
+        #: construction, expansion, delta updates, retirement, epoch resets
+        #: — so a store shared between a refinement thread and reader
+        #: threads (stats endpoints) never interleaves a mutation with
+        #: another mutation.  The pin count implements the *epoch* half:
+        #: while any request holds views mid-decision (``pinned()``), a
+        #: budget-triggered :meth:`reset_nodes` is deferred to the last
+        #: unpin, so ``reset_epoch`` never advances beneath an in-flight
+        #: decision and the view cache never drops entries a request is
+        #: still refining.  The lock is deliberately *not* part of
+        #: :meth:`export_segment` — segments ship between processes, locks
+        #: do not.
+        self._lock = threading.RLock()
+        self._pins = 0
+        self._reset_pending = False
 
     def __len__(self) -> int:
         return len(self._nodes)
+
+    # -- concurrency discipline --------------------------------------------
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The store's re-entrant lock (shared with its owning cache)."""
+        return self._lock
+
+    def pin(self) -> None:
+        """Enter a decision epoch: defer intern-table resets until unpin."""
+        with self._lock:
+            self._pins += 1
+
+    def unpin(self) -> None:
+        """Leave a decision epoch; the last unpin runs any deferred reset."""
+        with self._lock:
+            self._pins -= 1
+            if self._pins <= 0:
+                self._pins = 0
+                if self._reset_pending:
+                    self._reset_pending = False
+                    self.reset_nodes()
+
+    @contextmanager
+    def pinned(self):
+        """Context manager around one decision: pin, run, unpin.
+
+        :func:`repro.sprout.topk.run_decision` wraps every shared-store
+        decision in this, which is what makes the node-budget epoch reset
+        safe under the query service: the reset (and the view-cache
+        eviction keyed on ``reset_epoch``) lands *between* requests, never
+        in the middle of one — preserving the bit-identical-to-serial
+        determinism contract.
+        """
+        self.pin()
+        try:
+            yield self
+        finally:
+            self.unpin()
 
     # -- probability space -------------------------------------------------
 
     def add_probabilities(self, dnf: DNF, probabilities: Mapping[int, float]) -> None:
         """Record the marginals ``dnf`` needs, guarding the shared space."""
+        with self._lock:
+            self._add_probabilities(dnf, probabilities)
+
+    def _add_probabilities(self, dnf: DNF, probabilities: Mapping[int, float]) -> None:
         recorded = self.probabilities
         for variable in dnf.variables():
             value = probabilities.get(variable)
@@ -314,7 +375,8 @@ class SharedLineageStore:
 
     def build_root(self, dnf: DNF) -> int:
         """The interned root nid for a raw lineage DNF (minimised, like ``DTree``)."""
-        return self.build(dnf.minimised())
+        with self._lock:
+            return self.build(dnf.minimised())
 
     # -- shared refinement --------------------------------------------------
 
@@ -328,27 +390,28 @@ class SharedLineageStore:
         the refinement *shared*: every parent, under every tuple, sees the
         tightened bounds via the per-level propagation pass.
         """
-        table = self.table
-        if table.kind[leaf] != KIND_LEAF:
-            raise ProbabilityError("expand_leaf() called on a non-leaf shared node")
-        dnf = self._leaf_dnf.pop(leaf)
-        branch = branch_variable(dnf)
-        p = self.probabilities[branch]
-        positive = _cofactor_true(dnf, branch)
-        negative = dnf.condition(branch, False)
-        children = [self.build(positive), self.build(negative)]
-        table.kind[leaf] = KIND_DET_OR
-        table.attach_children(leaf, children, [p, 1.0 - p])
-        self._branch_var[leaf] = branch
-        self._register_dependents(leaf, (branch,))
-        self.steps += 1
-        table.propagate_from(leaf)
-        if self.max_nodes is not None and self.node_count > self.max_nodes:
-            # Keep the documented bound even for one giant compilation: the
-            # intern table is a pure accelerator, so dropping it
-            # mid-refinement costs only future sharing — live nids stay
-            # valid in the columnar table.
-            self.reset_nodes()
+        with self._lock:
+            table = self.table
+            if table.kind[leaf] != KIND_LEAF:
+                raise ProbabilityError("expand_leaf() called on a non-leaf shared node")
+            dnf = self._leaf_dnf.pop(leaf)
+            branch = branch_variable(dnf)
+            p = self.probabilities[branch]
+            positive = _cofactor_true(dnf, branch)
+            negative = dnf.condition(branch, False)
+            children = [self.build(positive), self.build(negative)]
+            table.kind[leaf] = KIND_DET_OR
+            table.attach_children(leaf, children, [p, 1.0 - p])
+            self._branch_var[leaf] = branch
+            self._register_dependents(leaf, (branch,))
+            self.steps += 1
+            table.propagate_from(leaf)
+            if self.max_nodes is not None and self.node_count > self.max_nodes:
+                # Keep the documented bound even for one giant compilation:
+                # the intern table is a pure accelerator, so dropping it
+                # mid-refinement costs only future sharing — live nids stay
+                # valid in the columnar table.  (Deferred while pinned.)
+                self.reset_nodes()
 
     def refine_most_valuable(self, views: Sequence["SharedDTree"]) -> int:
         """Expand the shared node with the largest summed frontier value.
@@ -363,29 +426,30 @@ class SharedLineageStore:
         choice deterministic.  Returns the number of expansions performed
         (0 when no view has an open frontier left).
         """
-        contributions: Dict[int, List[Tuple["SharedDTree", float]]] = {}
-        scores: Dict[int, float] = {}
-        # Candidates with identical lineage share one view object; process
-        # it once or its influence would double-count (and its heap would
-        # absorb the expansion twice).
-        seen_views: set = set()
-        for view in views:
-            if id(view) in seen_views:
-                continue
-            seen_views.add(id(view))
-            entry = view._peek()
-            if entry is None:
-                continue
-            influence, weight, leaf = entry
-            scores[leaf] = scores.get(leaf, 0.0) + influence
-            contributions.setdefault(leaf, []).append((view, weight))
-        if not scores:
-            return 0
-        best = max(scores, key=lambda nid: (scores[nid], -nid))
-        self.expand_leaf(best)
-        for view, weight in contributions[best]:
-            view._absorb_expansion(best, weight)
-        return 1
+        with self._lock:
+            contributions: Dict[int, List[Tuple["SharedDTree", float]]] = {}
+            scores: Dict[int, float] = {}
+            # Candidates with identical lineage share one view object; process
+            # it once or its influence would double-count (and its heap would
+            # absorb the expansion twice).
+            seen_views: set = set()
+            for view in views:
+                if id(view) in seen_views:
+                    continue
+                seen_views.add(id(view))
+                entry = view._peek()
+                if entry is None:
+                    continue
+                influence, weight, leaf = entry
+                scores[leaf] = scores.get(leaf, 0.0) + influence
+                contributions.setdefault(leaf, []).append((view, weight))
+            if not scores:
+                return 0
+            best = max(scores, key=lambda nid: (scores[nid], -nid))
+            self.expand_leaf(best)
+            for view, weight in contributions[best]:
+                view._absorb_expansion(best, weight)
+            return 1
 
     # -- delta updates (streaming) ------------------------------------------
 
@@ -398,13 +462,15 @@ class SharedLineageStore:
         compilation under the new space would hold.  The returned
         :class:`~repro.prob.delta.DeltaReport` lists the touched nids —
         views whose root is outside it are provably unaffected."""
-        return apply_probability_update(self, variable, probability)
+        with self._lock:
+            return apply_probability_update(self, variable, probability)
 
     def retire_view(self, view: "SharedDTree") -> int:
         """Retire a deleted tuple's view: count its reachable rows as
         potential garbage and reset the intern generation once the retired
         total passes ``max_nodes`` (:func:`repro.prob.delta.retire_view`)."""
-        return _retire_view(self, view)
+        with self._lock:
+            return _retire_view(self, view)
 
     def reset_nodes(self) -> None:
         """Drop the intern table and the clause interner (pure accelerators —
@@ -413,12 +479,21 @@ class SharedLineageStore:
         structures bounded by the node budget: the interner grows with every
         distinct clause ever extracted, so it must not outlive the nodes
         built from it.  The columnar rows themselves are reclaimed when the
-        owning cache's ``clear()`` swaps in a fresh store."""
-        self._nodes = {}
-        self.node_count = 0
-        self.retired_nodes = 0
-        self.reset_epoch += 1
-        self.interner = ClauseInterner()
+        owning cache's ``clear()`` swaps in a fresh store.
+
+        While any decision is pinned (:meth:`pinned`) the reset is deferred
+        to the last unpin: advancing ``reset_epoch`` mid-decision would let
+        the owning cache evict views a request is still refining.
+        """
+        with self._lock:
+            if self._pins > 0:
+                self._reset_pending = True
+                return
+            self._nodes = {}
+            self.node_count = 0
+            self.retired_nodes = 0
+            self.reset_epoch += 1
+            self.interner = ClauseInterner()
 
     # -- store shipping -----------------------------------------------------
 
@@ -750,39 +825,51 @@ class SharedDTreeCache:
         return self.store.interner
 
     def get(self, dnf: DNF, probabilities: Mapping[int, float]) -> SharedDTree:
-        """The (possibly already refined) view for ``dnf``, building on a miss."""
-        self.store.add_probabilities(dnf, probabilities)
-        # Enforce the node budget on *every* access, not just misses:
-        # refinement between calls grows the store, and the store's own
-        # in-refinement check only fires while expansions are running.
-        if self.max_nodes is not None and self.store.node_count > self.max_nodes:
-            self.store.reset_nodes()
-        # Drop views from earlier store epochs (in-refinement resets happen
-        # without the cache on the stack): a cached view pins its whole
-        # epoch's intern structures, so retaining stale epochs would bound
-        # memory by views x budget instead of the documented budget.
-        if self._epoch != self.store.reset_epoch:
-            self.evictions += len(self._views)
-            self._views.clear()
-            self._epoch = self.store.reset_epoch
-        key = dnf.clauses
-        view = self._views.get(key)
-        if view is not None:
-            self.hits += 1
-            self._views[key] = self._views.pop(key)  # mark most recently used
+        """The (possibly already refined) view for ``dnf``, building on a miss.
+
+        Runs under the store lock: lookup, budget-triggered epoch reset, and
+        LRU eviction are one atomic step, so a concurrent reader never
+        observes the view table mid-eviction and two threads can never build
+        the same lineage twice (the query service's refinement lane and its
+        stats readers share this cache).
+        """
+        with self.store.lock:
+            self.store.add_probabilities(dnf, probabilities)
+            # Enforce the node budget on *every* access, not just misses:
+            # refinement between calls grows the store, and the store's own
+            # in-refinement check only fires while expansions are running.
+            if self.max_nodes is not None and self.store.node_count > self.max_nodes:
+                self.store.reset_nodes()
+            # Drop views from earlier store epochs (in-refinement resets
+            # happen without the cache on the stack): a cached view pins its
+            # whole epoch's intern structures, so retaining stale epochs
+            # would bound memory by views x budget instead of the documented
+            # budget.
+            if self._epoch != self.store.reset_epoch:
+                self.evictions += len(self._views)
+                self._views.clear()
+                self._epoch = self.store.reset_epoch
+            key = dnf.clauses
+            view = self._views.get(key)
+            if view is not None:
+                self.hits += 1
+                self._views[key] = self._views.pop(key)  # mark most recently used
+                return view
+            self.misses += 1
+            view = SharedDTree(self.store, dnf)
+            self._views[key] = view
+            if self.max_entries is not None and len(self._views) > self.max_entries:
+                self._views.pop(next(iter(self._views)))
+                self.evictions += 1
             return view
-        self.misses += 1
-        view = SharedDTree(self.store, dnf)
-        self._views[key] = view
-        if self.max_entries is not None and len(self._views) > self.max_entries:
-            self._views.pop(next(iter(self._views)))
-            self.evictions += 1
-        return view
 
     def clear(self) -> None:
-        self.store = SharedLineageStore(max_nodes=self.max_nodes, vectorize=self.vectorize)
-        self._views.clear()
-        self._epoch = self.store.reset_epoch
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self.store.lock:
+            self.store = SharedLineageStore(
+                max_nodes=self.max_nodes, vectorize=self.vectorize
+            )
+            self._views.clear()
+            self._epoch = self.store.reset_epoch
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0

@@ -1,0 +1,34 @@
+"""A concurrent query service over one shared SPROUT engine.
+
+The library so far is single-caller: one thread owns the engine, the shared
+:class:`~repro.prob.sharedag.SharedLineageStore`, and the d-tree cache.
+This package turns that warm state into a *served* resource — an asyncio
+HTTP/JSON front end (:mod:`repro.service.http`) multiplexing concurrent
+``evaluate`` / ``topk`` / ``threshold`` requests and standing-query
+subscriptions over **one** engine (:mod:`repro.service.core`), so every
+client benefits from every other client's refinement work.
+
+The design splits concurrency from computation: transports admit requests
+concurrently under bounded admission control (queue full ⇒ HTTP 429), and a
+single refinement lane executes them in admission order against the shared
+store — which is exactly why the service is deterministic: an interleaved
+request sequence produces bit-identical decided sets, bounds, and step
+counts to a serial replay in admission order.  See ``docs/service.md``.
+
+Run one with ``python -m repro.service`` (see :mod:`repro.service.__main__`)
+or embed :class:`QueryService` / :class:`ServiceServer` directly.
+"""
+
+from .client import ServiceClient, arequest
+from .core import QueryService, ServiceConfig, result_payload
+from .http import ServiceServer, serve
+
+__all__ = [
+    "QueryService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceServer",
+    "arequest",
+    "result_payload",
+    "serve",
+]

@@ -1,0 +1,149 @@
+"""Clients for the query service: a blocking one and an asyncio helper.
+
+:class:`ServiceClient` wraps :mod:`http.client` with a fresh connection per
+request — boring on purpose, so tests and tools exercise the server's real
+socket path without a client-side connection pool hiding transport bugs.
+:func:`arequest` is the coroutine flavour the concurrency stress test uses
+to keep many requests genuinely in flight on one event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServiceError, ServiceOverloadedError
+
+__all__ = ["ServiceClient", "arequest"]
+
+
+def _raise_for_status(status: int, payload: Dict[str, Any]) -> None:
+    message = payload.get("error", f"HTTP {status}")
+    if status == 429:
+        raise ServiceOverloadedError(message)
+    raise ServiceError(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """A blocking JSON client for one service endpoint.
+
+    :meth:`request` returns the raw ``(status, payload)`` pair;
+    :meth:`must` additionally raises on any non-2xx status
+    (:class:`repro.errors.ServiceOverloadedError` for 429,
+    :class:`repro.errors.ServiceError` otherwise).  The query helpers
+    (:meth:`evaluate`, :meth:`topk`, ...) are thin wrappers over
+    :meth:`must` mirroring the HTTP routes one to one.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            encoded = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw.decode("utf-8")) if raw else {}
+        finally:
+            connection.close()
+
+    def must(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, payload = self.request(method, path, body)
+        if status >= 400:
+            _raise_for_status(status, payload)
+        return payload
+
+    # -- route helpers -------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.must("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.must("GET", "/stats")
+
+    def evaluate(self, sql: str, **params: Any) -> Dict[str, Any]:
+        return self.must("POST", "/evaluate", dict(params, sql=sql))
+
+    def topk(self, sql: str, k: int, **params: Any) -> Dict[str, Any]:
+        return self.must("POST", "/topk", dict(params, sql=sql, k=k))
+
+    def threshold(self, sql: str, tau: float, **params: Any) -> Dict[str, Any]:
+        return self.must("POST", "/threshold", dict(params, sql=sql, tau=tau))
+
+    def subscribe(self, sql: str, **params: Any) -> Dict[str, Any]:
+        return self.must("POST", "/subscribe", dict(params, sql=sql))
+
+    def subscription(self, subscription: str) -> Dict[str, Any]:
+        return self.must("GET", f"/subscriptions/{subscription}")
+
+    def update(
+        self, subscription: str, variable: int, probability: float, refresh: bool = True
+    ) -> Dict[str, Any]:
+        return self.must(
+            "POST",
+            f"/subscriptions/{subscription}/update",
+            {"variable": variable, "probability": probability, "refresh": refresh},
+        )
+
+    def unsubscribe(self, subscription: str) -> Dict[str, Any]:
+        return self.must("DELETE", f"/subscriptions/{subscription}")
+
+
+async def arequest(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+) -> Tuple[int, Dict[str, Any]]:
+    """One asyncio HTTP request against the service; ``(status, payload)``.
+
+    Opens its own connection (``Connection: close``) so concurrent callers
+    on one loop each hold a genuinely separate socket — the stress test's
+    interleaving comes from here.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        encoded = b"" if body is None else json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + encoded)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await reader.readexactly(length) if length else b""
+        return status, json.loads(raw.decode("utf-8")) if raw else {}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, AttributeError):  # pragma: no cover
+            pass

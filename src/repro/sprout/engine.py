@@ -63,11 +63,11 @@ per-tuple mode; the number of logical refinement steps is what shrinks.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.config import env_flag, env_int
 from repro.errors import (
     ApproximationBudgetError,
     NonHierarchicalQueryError,
@@ -246,17 +246,13 @@ def _default_workers() -> int:
     """Engine-wide worker default: the ``REPRO_WORKERS`` env var, else 0.
 
     The environment hook is what lets CI run the whole tier-1 suite with the
-    parallel confidence path switched on, without touching any test.
+    parallel confidence path switched on, without touching any test.  Parsed
+    by the one shared knob parser (:mod:`repro.config`), so a malformed value
+    raises the documented :class:`repro.errors.ConfigurationError` (a
+    ``PlanningError`` *and* ``ValueError`` subclass) with the same wording as
+    every other knob.
     """
-    value = os.environ.get("REPRO_WORKERS", "").strip()
-    if not value:
-        return 0
-    try:
-        return int(value)
-    except ValueError:
-        raise PlanningError(
-            f"REPRO_WORKERS must be a non-negative integer, got {value!r}"
-        ) from None
+    return env_int("REPRO_WORKERS", default=0, minimum=0)
 
 
 def _default_shared_lineage() -> bool:
@@ -266,35 +262,13 @@ def _default_shared_lineage() -> bool:
     suite on the legacy per-tuple d-tree scheduler, keeping that path
     exercised now that sharing is the serial default.
     """
-    value = os.environ.get("REPRO_SHARED_LINEAGE", "").strip().lower()
-    if not value:
-        return True
-    if value in ("0", "false", "no", "off"):
-        return False
-    if value in ("1", "true", "yes", "on"):
-        return True
-    raise PlanningError(
-        f"REPRO_SHARED_LINEAGE must be a boolean flag (0/1), got {value!r}"
-    )
+    return env_flag("REPRO_SHARED_LINEAGE", default=True)
 
 
 def _default_dtree_cache_size() -> int:
     """Lineage-cache node budget: the ``REPRO_DTREE_CACHE`` env var, else
     :data:`repro.prob.sharedag.DEFAULT_MAX_NODES` nodes."""
-    value = os.environ.get("REPRO_DTREE_CACHE", "").strip()
-    if not value:
-        return DEFAULT_MAX_NODES
-    try:
-        size = int(value)
-    except ValueError:
-        raise PlanningError(
-            f"REPRO_DTREE_CACHE must be a positive integer node count, got {value!r}"
-        ) from None
-    if size < 1:
-        raise PlanningError(
-            f"REPRO_DTREE_CACHE must be a positive integer node count, got {value!r}"
-        )
-    return size
+    return env_int("REPRO_DTREE_CACHE", default=DEFAULT_MAX_NODES, minimum=1)
 
 
 @dataclass
@@ -453,6 +427,12 @@ class SproutEngine:
         )
         self.planner = JoinOrderPlanner(database)
         self._executors: Dict[int, ConfidenceExecutor] = {}
+        #: Lifecycle flag plus the cache-counter snapshot taken at close():
+        #: a closed engine answers :meth:`cache_stats` from the snapshot
+        #: instead of touching the released cache, and transparently reopens
+        #: (fresh executors, cold cache) on the next evaluation.
+        self._closed = False
+        self._closed_stats: Optional[Dict[str, object]] = None
 
     # -- parallel executor lifecycle --------------------------------------------
 
@@ -472,20 +452,39 @@ class SproutEngine:
         return workers
 
     def close(self) -> None:
-        """Shut down any worker pools this engine spawned (idempotent)."""
-        for executor in self._executors.values():
-            executor.close()
-        self._executors.clear()
+        """Shut down worker pools and release the lineage cache (idempotent).
 
-    def cache_stats(self) -> Dict[str, object]:
-        """Lineage-cache counters and the active numeric backend.
-
-        ``hits`` / ``misses`` / ``evictions`` are cheap ints maintained by
-        the engine's :class:`repro.prob.sharedag.SharedDTreeCache` (or
-        legacy :class:`repro.prob.dtree.DTreeCache`); benchmarks and the
-        bench report use them to attribute warm-vs-cold step counts instead
-        of inferring them from timings.
+        Safe to call twice, and safe after a
+        :class:`repro.errors.ParallelExecutionError` already discarded a
+        broken pool: executor shutdown failures are swallowed — close()
+        never raises on a pool that is already broken or gone.  The first
+        close snapshots the cache counters (:meth:`cache_stats` keeps
+        answering from the snapshot) and clears the cache to release the
+        store's node table; the engine transparently reopens — fresh
+        executors, cold cache — on the next evaluation.
         """
+        executors, self._executors = dict(self._executors), {}
+        for executor in executors.values():
+            try:
+                executor.close()
+            except Exception:
+                # A pool that broke mid-run (dead worker, interpreter
+                # shutdown) may refuse a second shutdown; close() promises
+                # not to propagate that.
+                pass
+        if not self._closed:
+            self._closed_stats = self._live_cache_stats()
+            self._closed_stats["closed"] = True
+            self.dtree_cache.clear()
+            self._closed = True
+
+    def _reopen(self) -> None:
+        """Drop the closed-engine snapshot on the next evaluation."""
+        if self._closed:
+            self._closed = False
+            self._closed_stats = None
+
+    def _live_cache_stats(self) -> Dict[str, object]:
         return {
             "hits": self.dtree_cache.hits,
             "misses": self.dtree_cache.misses,
@@ -494,6 +493,24 @@ class SproutEngine:
             "shared_lineage": self.shared_lineage,
             "backend": self.backend,
         }
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Lineage-cache counters and the active numeric backend.
+
+        ``hits`` / ``misses`` / ``evictions`` are cheap ints maintained by
+        the engine's :class:`repro.prob.sharedag.SharedDTreeCache` (or
+        legacy :class:`repro.prob.dtree.DTreeCache`); benchmarks and the
+        bench report use them to attribute warm-vs-cold step counts instead
+        of inferring them from timings.  On a closed engine this returns
+        the snapshot taken at :meth:`close` (with ``"closed": True``)
+        instead of touching the released cache; a live engine reports
+        ``"closed": False``.
+        """
+        if self._closed and self._closed_stats is not None:
+            return dict(self._closed_stats)
+        stats = self._live_cache_stats()
+        stats["closed"] = False
+        return stats
 
     def __enter__(self) -> "SproutEngine":
         return self
@@ -617,6 +634,7 @@ class SproutEngine:
         FD-reduct) are routed to the d-tree engine regardless of the
         requested plan style.
         """
+        self._reopen()
         execution, confidence, epsilon = self._resolve_modes(
             plan, conf_method, execution, confidence, epsilon
         )
@@ -839,6 +857,7 @@ class SproutEngine:
     ):
         from repro.sprout.streaming import StandingQuery
 
+        self._reopen()
         execution, confidence, _ = self._resolve_modes(
             "dtree", "scans", execution, confidence, None
         )
@@ -874,6 +893,7 @@ class SproutEngine:
         max_steps: Optional[int],
         workers: Optional[int],
     ) -> EvaluationResult:
+        self._reopen()
         execution, confidence, _ = self._resolve_modes(
             plan, conf_method, execution, confidence, None
         )

@@ -370,7 +370,39 @@ def run_decision(
     explicit ``max_steps`` instead caps the whole call (leftover after the
     decision, shared sequentially across tuples) and is reported, never
     raised.  Returns ``(outcome, finishing_steps)``.
+
+    An empty candidate set — a standing query whose last tuple was deleted,
+    a query with no answers — is decided trivially: an empty selection in
+    zero steps, for both top-k and threshold.  Guarded here (not just in the
+    scheduler) so every caller of the single decision routine shares it.
+
+    With a shared ``store`` the whole decision runs *pinned*
+    (:meth:`repro.prob.sharedag.SharedLineageStore.pinned`): a node-budget
+    epoch reset triggered mid-decision is deferred until the decision
+    finishes, which keeps interleaved requests over one store (the query
+    service) bit-identical to running them serially.
     """
+    if not candidates:
+        return SchedulerOutcome(selected=[], candidates=[], decided=True, steps=0), 0
+    if store is None:
+        return _run_decision_unpinned(
+            candidates, k, tau, confidence, max_steps, default_cap, store
+        )
+    with store.pinned():
+        return _run_decision_unpinned(
+            candidates, k, tau, confidence, max_steps, default_cap, store
+        )
+
+
+def _run_decision_unpinned(
+    candidates: List[TupleCandidate],
+    k: Optional[int],
+    tau: Optional[float],
+    confidence: str,
+    max_steps: Optional[int],
+    default_cap: Optional[int],
+    store: Optional[SharedLineageStore],
+) -> Tuple[SchedulerOutcome, int]:
     scheduler = RefinementScheduler(
         candidates,
         max_steps=default_cap if max_steps is None else max_steps,

@@ -249,6 +249,7 @@ class TestEngineInstrumentation:
                 "entries": 0,
                 "shared_lineage": shared,
                 "backend": engine.backend,
+                "closed": False,
             }
             engine.evaluate_topk(query, k=1)
             warmed = engine.cache_stats()
@@ -256,6 +257,40 @@ class TestEngineInstrumentation:
             assert warmed["entries"] >= 1
             engine.evaluate_topk(query, k=1)
             assert engine.cache_stats()["hits"] >= 1
+
+    def test_cache_stats_on_closed_engine_is_a_stable_snapshot(self):
+        db, query = self.unsafe_workload()
+        engine = SproutEngine(db, workers=0)
+        engine.evaluate_topk(query, k=1)
+        live = engine.cache_stats()
+        engine.close()
+        snapshot = engine.cache_stats()
+        # The snapshot freezes the last live counters (entries included, even
+        # though close() cleared the cache itself) and marks itself closed.
+        assert snapshot["closed"] is True
+        for key in ("hits", "misses", "evictions", "entries"):
+            assert snapshot[key] == live[key]
+        engine.close()  # idempotent: a second close keeps the same snapshot
+        assert engine.cache_stats() == snapshot
+
+    def test_close_survives_a_broken_worker_pool(self):
+        db, query = self.unsafe_workload()
+        engine = SproutEngine(db, workers=0)
+        engine.evaluate_topk(query, k=1)
+
+        class BrokenExecutor:
+            def close(self):
+                raise RuntimeError("pool already torn down")
+
+        engine._executors["broken"] = BrokenExecutor()
+        engine.close()  # must swallow the executor failure, not propagate it
+        assert engine.cache_stats()["closed"] is True
+        assert engine._executors == {}
+        # The engine resurrects on use: evaluation reopens it.
+        result = engine.evaluate_topk(query, k=1)
+        assert len(result.relation) == 1
+        assert engine.cache_stats()["closed"] is False
+        engine.close()
 
     def test_results_surface_the_backend(self, paper_db, paper_q):
         with SproutEngine(paper_db) as engine:

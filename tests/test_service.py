@@ -1,0 +1,288 @@
+"""The concurrent query service: unit, HTTP transport, and determinism tests.
+
+The load-bearing test is the concurrency stress
+(:class:`TestDeterminismStress`): N asyncio clients fire interleaved
+top-k/threshold/evaluate/subscribe/update requests at one live server, then
+the *same* requests are replayed one at a time, in admission order, against
+a fresh server over the same database — and every response payload must be
+bit-identical (decided sets, confidences, bounds, step counts, sequence
+numbers, subscription ids).  That is the service's determinism contract:
+concurrency changes when a request runs, never what it computes.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import PlanningError, ServiceError, ServiceOverloadedError
+from repro.service import (
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    arequest,
+)
+from repro.service.__main__ import demo_database
+
+SQL = "SELECT room, conf() FROM alarm, uplink, zone_ok"
+
+
+@pytest.fixture
+def service():
+    with QueryService(demo_database()) as svc:
+        yield svc
+
+
+@pytest.fixture
+def server():
+    with ServiceServer(QueryService(demo_database())) as srv:
+        yield srv
+
+
+class TestServiceCore:
+    def test_topk_round_trip_and_warm_reuse(self, service):
+        cold = service.execute("topk", {"sql": SQL, "k": 2})
+        assert cold["kind"] == "topk"
+        assert cold["decided"] is True
+        assert cold["seq"] == 0
+        assert len(cold["rows"]) == 2
+        assert cold["refine_steps"] > 0
+        warm = service.execute("topk", {"sql": SQL, "k": 2})
+        # The shared store is warm: the repeat costs zero logical steps.
+        assert warm["refine_steps"] == 0
+        assert warm["seq"] == 1
+        assert warm["rows"] == cold["rows"]
+
+    def test_matches_the_engine_directly(self, service):
+        from repro.query.parser import parse_query
+        from repro.sprout.engine import SproutEngine
+
+        served = service.execute("evaluate", {"sql": SQL})
+        db = demo_database()
+        direct = SproutEngine(db, workers=0).evaluate(parse_query(SQL, db.catalog).query)
+        assert {
+            tuple(row[:-1]): row[-1] for row in served["rows"]
+        } == direct.confidences()
+
+    def test_no_wall_clock_fields_in_payloads(self, service):
+        payload = service.execute("threshold", {"sql": SQL, "tau": 0.5})
+        assert not any("seconds" in key for key in payload)
+
+    def test_unknown_kind_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.submit("explode", {})
+
+    def test_request_validation(self, service):
+        for kind, params in [
+            ("evaluate", {}),  # no sql
+            ("evaluate", {"sql": SQL, "epsilon": -0.5}),
+            ("topk", {"sql": SQL}),  # no k
+            ("topk", {"sql": SQL, "k": 0}),
+            ("topk", {"sql": SQL, "k": True}),
+            ("topk", {"sql": SQL, "k": 2, "max_steps": -1}),
+            ("threshold", {"sql": SQL, "tau": 1.5}),
+            ("subscribe", {"sql": SQL}),  # neither k nor tau
+            ("subscribe", {"sql": SQL, "k": 1, "tau": 0.5}),  # both
+            ("subscription_get", {"subscription": "sub-999"}),
+        ]:
+            with pytest.raises(ServiceError):
+                service.execute(kind, params)
+
+    def test_bad_sql_raises_a_query_error(self, service):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            service.execute("evaluate", {"sql": "DROP TABLE alarm"})
+
+    def test_max_steps_ceiling(self):
+        config = ServiceConfig(max_steps_ceiling=10)
+        with QueryService(demo_database(), config=config) as svc:
+            ok = svc.execute("topk", {"sql": SQL, "k": 1, "max_steps": 10})
+            assert ok["kind"] == "topk"
+            with pytest.raises(ServiceError):
+                svc.execute("topk", {"sql": SQL, "k": 1, "max_steps": 11})
+
+    def test_admission_control_rejects_when_full(self):
+        svc = QueryService(demo_database(), config=ServiceConfig(max_pending=2))
+        # The lane is deliberately not started: admitted jobs stay queued.
+        first = svc.submit("topk", {"sql": SQL, "k": 1})
+        second = svc.submit("topk", {"sql": SQL, "k": 1})
+        with pytest.raises(ServiceOverloadedError):
+            svc.submit("topk", {"sql": SQL, "k": 1})
+        assert svc.rejected == 1
+        assert svc.admitted == 2
+        svc.start()  # the queued work drains and both futures resolve
+        assert first.result(timeout=30)["seq"] == 0
+        assert second.result(timeout=30)["seq"] == 1
+        svc.close()
+
+    def test_closed_service_rejects_submissions(self):
+        svc = QueryService(demo_database())
+        svc.start()
+        svc.close()
+        with pytest.raises(ServiceError):
+            svc.submit("evaluate", {"sql": SQL})
+        svc.close()  # idempotent
+
+    def test_subscription_lifecycle(self, service):
+        sub = service.execute("subscribe", {"sql": SQL, "tau": 0.5})
+        assert sub["subscription"] == "sub-0"
+        assert sub["decided"] is True
+        assert sub["variables"]
+        selected = sub["selected"]
+
+        got = service.execute("subscription_get", {"subscription": "sub-0"})
+        assert got["selected"] == selected
+
+        # Kill the most confident room's first alarm event: the decided set
+        # shrinks, and the delta is reported along with the new answer.
+        variable = sub["variables"][0]
+        moved = service.execute(
+            "subscription_update",
+            {"subscription": "sub-0", "variable": variable, "probability": 0.01},
+        )
+        assert moved["report"]["noop"] is False
+        assert moved["selected"] != selected or moved["left"] == []
+
+        gone = service.execute("subscription_delete", {"subscription": "sub-0"})
+        assert gone["kind"] == "unsubscribe"
+        with pytest.raises(ServiceError):
+            service.execute("subscription_get", {"subscription": "sub-0"})
+
+    def test_stats_surface(self, service):
+        service.execute("topk", {"sql": SQL, "k": 1})
+        stats = service.stats()
+        assert stats["admitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["failed"] == 0
+        assert stats["cache"]["closed"] is False
+        assert stats["store"]["steps"] > 0
+        assert stats["store"]["mutations"] > 0
+        assert stats["store"]["reset_epoch"] == 0
+
+    def test_config_validation(self):
+        with pytest.raises(PlanningError):
+            ServiceConfig(max_pending=0)
+        with pytest.raises(PlanningError):
+            ServiceConfig(max_steps_ceiling=-1)
+
+
+class TestServiceHTTP:
+    def test_healthz_and_stats(self, server):
+        client = ServiceClient(server.host, server.port)
+        assert client.healthz() == {"ok": True}
+        stats = client.stats()
+        assert stats["max_pending"] == 32
+
+    def test_query_routes(self, server):
+        client = ServiceClient(server.host, server.port)
+        topk = client.topk(SQL, k=2)
+        assert len(topk["rows"]) == 2 and topk["decided"]
+        threshold = client.threshold(SQL, tau=0.5)
+        assert all(row[-1] >= 0.5 for row in threshold["rows"])
+        evaluated = client.evaluate(SQL)
+        assert len(evaluated["rows"]) == 5  # every room, with its confidence
+
+    def test_subscription_routes(self, server):
+        client = ServiceClient(server.host, server.port)
+        sub = client.subscribe(SQL, tau=0.5)
+        sid = sub["subscription"]
+        assert client.subscription(sid)["selected"] == sub["selected"]
+        assert sid in client.must("GET", "/subscriptions")["subscriptions"]
+        update = client.update(sid, variable=sub["variables"][0], probability=0.02)
+        assert update["report"]["noop"] is False
+        client.unsubscribe(sid)
+        status, _ = client.request("GET", f"/subscriptions/{sid}")
+        assert status == 400
+
+    def test_http_error_mapping(self, server):
+        client = ServiceClient(server.host, server.port)
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("GET", "/evaluate")[0] == 405
+        status, payload = client.request("POST", "/evaluate", {"sql": "not sql"})
+        assert status == 400 and "error" in payload
+        status, payload = client.request("POST", "/topk", {"sql": SQL})
+        assert status == 400  # missing k
+
+    def test_overload_maps_to_429(self, server, monkeypatch):
+        def overloaded(kind, params=None):
+            raise ServiceOverloadedError("queue full")
+
+        monkeypatch.setattr(server.service, "submit", overloaded)
+        client = ServiceClient(server.host, server.port)
+        status, payload = client.request("POST", "/evaluate", {"sql": SQL})
+        assert status == 429
+        with pytest.raises(ServiceOverloadedError):
+            client.evaluate(SQL)
+
+    def test_malformed_http_gets_400(self, server):
+        import socket
+
+        with socket.create_connection((server.host, server.port), timeout=10) as sock:
+            sock.sendall(b"BOGUS\r\n\r\n")
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+
+class TestDeterminismStress:
+    """Interleaved execution must be bit-identical to serial replay."""
+
+    CLIENTS = 5
+
+    async def _client_script(self, host, port, index, records):
+        """One client's conversation; every response is recorded verbatim."""
+
+        async def call(method, path, body=None):
+            status, payload = await arequest(host, port, method, path, body)
+            assert status == 200, payload
+            records.append((payload["seq"], method, path, body, payload))
+            return payload
+
+        sub = await call(
+            "POST", "/subscribe", {"sql": SQL, "tau": 0.35 + 0.05 * index}
+        )
+        sid = sub["subscription"]
+        await call("POST", "/topk", {"sql": SQL, "k": index % 4 + 1})
+        variable = sub["variables"][index % len(sub["variables"])]
+        await call(
+            "POST",
+            f"/subscriptions/{sid}/update",
+            {"variable": variable, "probability": round(0.1 + 0.15 * index, 3)},
+        )
+        await call("POST", "/threshold", {"sql": SQL, "tau": 0.45})
+        await call("GET", f"/subscriptions/{sid}")
+        await call("POST", "/topk", {"sql": SQL, "k": 2})
+        if index % 2:
+            await call("DELETE", f"/subscriptions/{sid}")
+
+    def test_interleaved_matches_serial_replay(self):
+        records = []
+        with ServiceServer(QueryService(demo_database())) as live:
+
+            async def storm():
+                await asyncio.gather(
+                    *(
+                        self._client_script(live.host, live.port, i, records)
+                        for i in range(self.CLIENTS)
+                    )
+                )
+
+            asyncio.run(storm())
+
+        # Admission sequence numbers are dense and unique: the interleaved
+        # run admitted every request exactly once, in one global order.
+        sequences = sorted(record[0] for record in records)
+        assert sequences == list(range(len(records)))
+
+        # Serial replay: the same requests, one at a time, in admission
+        # order, against a fresh service over the same database.
+        replayed = {}
+        with ServiceServer(QueryService(demo_database())) as replay:
+            client = ServiceClient(replay.host, replay.port)
+            for seq, method, path, body, _payload in sorted(records):
+                replayed[seq] = client.must(method, path, body)
+
+        # Bit-identical: confidences, bounds, decided sets, step counts,
+        # subscription ids, and sequence numbers all round-trip exactly.
+        concurrent = {seq: payload for seq, _m, _p, _b, payload in records}
+        assert replayed == concurrent

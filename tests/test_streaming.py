@@ -479,6 +479,32 @@ class TestEngineWatch:
         result = engine.evaluate_topk(chain_query(), k=1)
         assert next(iter(result.relation))[-1] > 0.0
 
+    def test_watch_topk_with_fewer_candidates_than_k(self, chain_db):
+        # k past the population is a decided full answer, not an error.
+        engine = SproutEngine(chain_db)
+        watch = engine.watch_topk(chain_query(), k=50)
+        assert watch.decided
+        assert len(watch.selected) == len(watch)
+        result = watch.refresh()
+        assert watch.decided
+        assert len(result.relation) == len(watch)
+
+    def test_watch_deleted_to_empty_refreshes_to_decided_empty(self, chain_db):
+        # Deleting every tuple must leave a decided empty answer; refresh()
+        # and update_probability() keep working on the emptied standing set.
+        engine = SproutEngine(chain_db)
+        watch = engine.watch_topk(chain_query(), k=1)
+        variable = next(iter(watch.probabilities))
+        for data in list(watch.lineage):
+            watch.delete_tuple(data)
+        result = watch.refresh()
+        assert watch.decided
+        assert watch.selected == []
+        assert len(result.relation) == 0
+        assert result.delta_steps == 0
+        watch.update_probability(variable, 0.0)
+        assert watch.refresh().decided
+
     def test_one_shot_results_report_delta_steps(self, chain_db):
         engine = SproutEngine(chain_db)
         result = engine.evaluate_topk(chain_query(), k=2)

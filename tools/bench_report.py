@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Consolidated benchmark reports: run an SF 0.001 suite, emit one JSON.
 
-Two suites, each pinned to scale factor 0.001 with one round per benchmark
+Three suites, each pinned to scale factor 0.001 with one round per benchmark
 (the asserted quantities are deterministic step counts, not timings):
 
 * ``core`` (default) — the refinement-core, shared-lineage, and top-k
@@ -14,6 +14,12 @@ Two suites, each pinned to scale factor 0.001 with one round per benchmark
   ``BENCH_streaming.json``: the warm-vs-cold step contrast of a standing
   top-10 query absorbing a probability update, and the structural
   delete/re-insert round trip.
+* ``service`` — the query-service benchmarks
+  (``benchmarks/bench_service.py``), consolidated into
+  ``BENCH_service.json``: cross-request warm-state reuse through the full
+  HTTP stack — a repeated top-10 request re-decides within one logical
+  step, concurrent clients share one store, and a served standing query
+  absorbs deltas warm.
 
 Each report carries the per-benchmark median wall times and every
 ``extra_info`` counter, plus a ``summary`` with the headline numbers the
@@ -21,7 +27,7 @@ perf trajectory tracks.  CI uploads both files as artifacts on every push
 (``smoke-benchmark`` job), seeding a comparable series of step counts and
 wall times across commits.  Run locally from the repository root:
 
-    python tools/bench_report.py [--suite core|streaming] [output.json]
+    python tools/bench_report.py [--suite core|streaming|service] [output.json]
 
 The report fails loudly: a missing raw-result file, a benchmark that did
 not run, or an ``extra_info`` counter that a benchmark stopped recording
@@ -210,6 +216,30 @@ def consolidate_streaming(raw_json: Path) -> dict:
     return {"summary": summary, "benchmarks": benchmarks}
 
 
+def consolidate_service(raw_json: Path) -> dict:
+    raw, benchmarks, extra = collect(raw_json)
+    cold_steps = extra("test_topk_over_http_is_warm_after_first", "cold_steps")
+    warm_steps = extra("test_topk_over_http_is_warm_after_first", "warm_steps")
+    summary = {
+        "workload": "unsafe TPC-H brand top-10 served over HTTP, SF 0.001",
+        "cross_request_reuse_steps": {
+            "cold_request": cold_steps,
+            "warm_repeat": warm_steps,
+            "warm_storm": extra(
+                "test_concurrent_clients_share_warm_state", "warm_storm_steps"
+            ),
+            "subscription_update": extra(
+                "test_subscription_update_over_http", "update_delta_steps"
+            ),
+        },
+        "concurrent_clients": extra("test_concurrent_clients_share_warm_state", "clients"),
+        "warm_repeat_within_one_step": warm_steps <= 1,
+        "speedup_vs_cold": cold_steps / max(1, warm_steps),
+    }
+    wall_clock_summary(summary, raw, benchmarks)
+    return {"summary": summary, "benchmarks": benchmarks}
+
+
 def print_core(summary: dict, output: Path) -> None:
     core = summary["refinement_core"]
     steps = summary["topk_decision_steps"]
@@ -231,6 +261,16 @@ def print_streaming(summary: dict, output: Path) -> None:
     )
 
 
+def print_service(summary: dict, output: Path) -> None:
+    steps = summary["cross_request_reuse_steps"]
+    print(
+        f"bench report OK: warm repeat={steps['warm_repeat']} steps vs "
+        f"cold request={steps['cold_request']} over HTTP, "
+        f"warm storm={steps['warm_storm']} "
+        f"({summary['concurrent_clients']} clients) -> {output}"
+    )
+
+
 SUITES = {
     "core": {
         "benchmarks": [
@@ -247,6 +287,12 @@ SUITES = {
         "output": "BENCH_streaming.json",
         "consolidate": consolidate_streaming,
         "print": print_streaming,
+    },
+    "service": {
+        "benchmarks": ["benchmarks/bench_service.py"],
+        "output": "BENCH_service.json",
+        "consolidate": consolidate_service,
+        "print": print_service,
     },
 }
 
