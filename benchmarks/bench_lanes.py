@@ -1,0 +1,169 @@
+"""Data-parallel refinement lanes over one shared lineage store (PR 9).
+
+The shared-DAG scheduler now refines in planned rounds: the frontier is
+ranked once, under the store lock, and the pure cofactor computations of a
+round fan out across a :class:`repro.sprout.parallel.RefinementLanePool`
+before commits land serially in plan order.  This benchmark pins the two
+halves of that claim on the unsafe TPC-H brand query of
+``bench_shared_lineage.py``:
+
+* **bit-equality, always** — ``refine_lanes`` 0/1/4 on fresh engines
+  produce identical decided sets, confidences, bounds, logical step counts,
+  and raw IEEE-754 bound columns (``NodeTable.bounds_fingerprint``).  This
+  is asserted unconditionally; it is the contract, not a best case.
+* **throughput, when there is headroom** — wall-clock per lane count is
+  recorded in the JSON on every run.  The speedup *assertion* is gated
+  behind ``REPRO_ASSERT_SPEEDUP=1`` (plus ≥ 2 cores): lanes are threads,
+  and on a GIL-bound CPython build the pure-Python cofactor work cannot
+  overlap, so the 1-core CI container only tracks the numbers.  On builds
+  where the cofactor kernels release the GIL (or free-threaded CPython)
+  the knob turns the recorded ratio into a hard floor.
+
+The instance is pinned to SF 0.001 (independent of ``REPRO_TPCH_SF``):
+step counts are a property of this exact workload.  Every measured call
+builds a fresh engine so no run starts from another's refined store.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.config import env_flag
+from repro.tpch import probabilistic_tpch
+from repro.sprout import SproutEngine
+
+from bench_shared_lineage import brand_query
+from conftest import run_benchmark
+
+K = 10
+TAU = 0.9
+LANE_AXIS = (0, 1, 4)
+SPEEDUP_FLOOR = 1.1
+ASSERT_SPEEDUP = bool(env_flag("REPRO_ASSERT_SPEEDUP", default=False)) and (
+    (os.cpu_count() or 1) >= 2
+)
+
+
+@pytest.fixture(scope="module")
+def lanes_db():
+    return probabilistic_tpch(scale_factor=0.001, seed=7, probability_seed=11)
+
+
+def _decide(db, lanes, mode):
+    """One fresh-engine decision; returns (fingerprint, wall seconds).
+
+    The fingerprint is everything the determinism contract names: sorted
+    confidences and bounds, the decided flag, per-call logical steps, the
+    store's global step meter, and the node table's raw bound bytes.
+    """
+    started = perf_counter()
+    with SproutEngine(db, workers=0, refine_lanes=lanes) as engine:
+        if mode == "topk":
+            result = engine.evaluate_topk(brand_query(), k=K, confidence="approx")
+        else:
+            result = engine.evaluate_threshold(
+                brand_query(), tau=TAU, confidence="approx"
+            )
+        seconds = perf_counter() - started
+        store = engine.dtree_cache.store
+        fingerprint = (
+            sorted(result.confidences().items()),
+            sorted(result.bounds.items()),
+            result.decided,
+            result.refine_steps,
+            store.steps,
+            store.table.bounds_fingerprint(),
+        )
+    return fingerprint, seconds
+
+
+def _lane_sweep(benchmark, db, mode):
+    fingerprints, seconds = {}, {}
+    for lanes in LANE_AXIS:
+        fingerprints[lanes], seconds[lanes] = _decide(db, lanes, mode)
+
+    result = run_benchmark(benchmark, _decide, db, LANE_AXIS[-1], mode)
+    assert result[0] == fingerprints[LANE_AXIS[-1]]
+
+    benchmark.extra_info["lane_axis"] = list(LANE_AXIS)
+    benchmark.extra_info["refine_steps"] = fingerprints[0][3]
+    benchmark.extra_info["store_steps"] = fingerprints[0][4]
+    benchmark.extra_info["seconds_by_lanes"] = {
+        str(lanes): seconds[lanes] for lanes in LANE_AXIS
+    }
+    benchmark.extra_info["speedup_lanes4"] = seconds[0] / max(seconds[4], 1e-12)
+    benchmark.extra_info["cores"] = os.cpu_count() or 1
+    benchmark.extra_info["speedup_asserted"] = ASSERT_SPEEDUP
+
+    # The contract, asserted on every machine: the lane count may change
+    # wall-clock, never a bit of the answer or a single logical step.
+    for lanes in LANE_AXIS[1:]:
+        assert fingerprints[lanes] == fingerprints[0], (
+            f"{mode}: refine_lanes={lanes} diverged from the serial decision"
+        )
+
+    if ASSERT_SPEEDUP:
+        assert seconds[0] / max(seconds[4], 1e-12) >= SPEEDUP_FLOOR
+    return fingerprints[0]
+
+
+def test_topk_lane_axis(benchmark, lanes_db):
+    """Top-10 brand decision: lanes 0/1/4 bit-identical, timings tracked."""
+    fingerprint = _lane_sweep(benchmark, lanes_db, "topk")
+    assert fingerprint[2]  # the decision itself must land
+    assert fingerprint[3] > 0  # and must actually exercise refinement
+
+
+def test_threshold_lane_axis(benchmark, lanes_db):
+    """τ-partition decision: same contract on the threshold route."""
+    fingerprint = _lane_sweep(benchmark, lanes_db, "threshold")
+    assert fingerprint[2]
+
+
+def test_round_width_batches_the_frontier(benchmark, lanes_db):
+    """The round planner hands whole batches to the lanes.
+
+    ``refine_round(views, width)`` must advance up to ``width`` distinct
+    leaves per propagation pass — that batching is what gives the lanes
+    parallel work per round — while ``refine_most_valuable`` stays exactly
+    the width-1 special case the pre-lane scheduler shipped.
+    """
+    from repro.prob.formulas import DNF
+    from repro.prob.sharedag import SharedDTree, SharedLineageStore
+
+    def build():
+        store = SharedLineageStore()
+        probabilities = {v: 0.05 * (v % 9 + 3) for v in range(24)}
+        views = []
+        for base in range(0, 18, 3):
+            dnf = DNF([[base, base + 1], [base + 1, base + 2], [base + 2, base + 3]])
+            store.add_probabilities(dnf, probabilities)
+            views.append(SharedDTree(store, dnf))
+        return store, views
+
+    def drain_rounds(width):
+        store, views = build()
+        rounds = 0
+        while store.refine_round(views, width):
+            rounds += 1
+        return store, views, rounds
+
+    serial_store, serial_views, serial_rounds = drain_rounds(1)
+    batched_store, batched_views, batched_rounds = run_benchmark(
+        benchmark, drain_rounds, 4
+    )
+
+    benchmark.extra_info["serial_rounds"] = serial_rounds
+    benchmark.extra_info["batched_rounds"] = batched_rounds
+    benchmark.extra_info["steps"] = serial_store.steps
+
+    # Same total logical work and, at closure, the same exact brackets per
+    # view — batching only changes how many propagation passes carry it
+    # (the drain order, and with it the node numbering, legitimately moves).
+    assert batched_store.steps == serial_store.steps
+    for serial_view, batched_view in zip(serial_views, batched_views):
+        assert batched_view.bounds() == serial_view.bounds()
+    assert batched_rounds < serial_rounds

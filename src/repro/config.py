@@ -1,8 +1,9 @@
 """One shared parser for the ``REPRO_*`` environment knobs.
 
 Every environment variable the library reads — ``REPRO_WORKERS``,
-``REPRO_SHARED_LINEAGE``, ``REPRO_DTREE_CACHE``, ``REPRO_VECTORIZE``, the
-benchmark knobs — goes through the two parsers here, so a malformed value
+``REPRO_SHARED_LINEAGE``, ``REPRO_DTREE_CACHE``, ``REPRO_VECTORIZE``,
+``REPRO_LANES``, the benchmark knobs — goes through the two parsers here,
+so a malformed value
 raises the same documented :class:`repro.errors.ConfigurationError` (a
 :class:`ValueError` subclass) with the same wording no matter which call
 site reads it first.  Before this module each knob had its own inline

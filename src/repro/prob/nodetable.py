@@ -331,6 +331,17 @@ class NodeTable:
                 changed.add(node)
         return seen
 
+    def bounds_fingerprint(self) -> bytes:
+        """The bound columns as raw IEEE-754 bytes — the bit-identity witness.
+
+        Two tables fingerprint equal iff every node's ``[lower, upper]``
+        bracket is *bit*-identical (not merely approximately equal), which is
+        the currency of the repo's determinism contracts: the lane tests and
+        ``benchmarks/bench_lanes.py`` compare stores refined under different
+        lane counts by this digest rather than by walking rows.
+        """
+        return self.lower.tobytes() + self.upper.tobytes()
+
     def refresh_all_bounds(self, vectorize: Optional[bool] = None) -> None:
         """Recompute every inner node bottom-up (one full per-level sweep).
 

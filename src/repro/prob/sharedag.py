@@ -380,6 +380,33 @@ class SharedLineageStore:
 
     # -- shared refinement --------------------------------------------------
 
+    def _commit_expansion(
+        self, leaf: int, branch: int, positive: DNF, negative: DNF
+    ) -> None:
+        """Commit one precomputed Shannon cobranch, deferring propagation.
+
+        The serial half of a refinement round: the branch variable and the
+        two cofactor DNFs were computed outside (a pure function of the
+        leaf's DNF, safe to run on any lane), but node creation must stay
+        sequential — nids are assigned in creation order, and that order is
+        the scheduler's deterministic tiebreak.  Bound propagation is *not*
+        performed here; the caller flushes all of a round's expansions in
+        one batched :meth:`~repro.prob.nodetable.NodeTable.propagate_from_many`
+        pass (propagation is idempotent bottom-up recomputation, so batching
+        lands on the same columns as per-expansion passes).
+        """
+        table = self.table
+        if table.kind[leaf] != KIND_LEAF:
+            raise ProbabilityError("expansion committed on a non-leaf shared node")
+        del self._leaf_dnf[leaf]
+        p = self.probabilities[branch]
+        children = [self.build(positive), self.build(negative)]
+        table.kind[leaf] = KIND_DET_OR
+        table.attach_children(leaf, children, [p, 1.0 - p])
+        self._branch_var[leaf] = branch
+        self._register_dependents(leaf, (branch,))
+        self.steps += 1
+
     def expand_leaf(self, leaf: int) -> None:
         """One Shannon cobranch: mutate leaf ``nid`` into a ⊙ row, propagate bounds.
 
@@ -391,21 +418,14 @@ class SharedLineageStore:
         tightened bounds via the per-level propagation pass.
         """
         with self._lock:
-            table = self.table
-            if table.kind[leaf] != KIND_LEAF:
+            if self.table.kind[leaf] != KIND_LEAF:
                 raise ProbabilityError("expand_leaf() called on a non-leaf shared node")
-            dnf = self._leaf_dnf.pop(leaf)
+            dnf = self._leaf_dnf[leaf]
             branch = branch_variable(dnf)
-            p = self.probabilities[branch]
-            positive = _cofactor_true(dnf, branch)
-            negative = dnf.condition(branch, False)
-            children = [self.build(positive), self.build(negative)]
-            table.kind[leaf] = KIND_DET_OR
-            table.attach_children(leaf, children, [p, 1.0 - p])
-            self._branch_var[leaf] = branch
-            self._register_dependents(leaf, (branch,))
-            self.steps += 1
-            table.propagate_from(leaf)
+            self._commit_expansion(
+                leaf, branch, _cofactor_true(dnf, branch), dnf.condition(branch, False)
+            )
+            self.table.propagate_from(leaf)
             if self.max_nodes is not None and self.node_count > self.max_nodes:
                 # Keep the documented bound even for one giant compilation:
                 # the intern table is a pure accelerator, so dropping it
@@ -413,43 +433,116 @@ class SharedLineageStore:
                 # valid in the columnar table.  (Deferred while pinned.)
                 self.reset_nodes()
 
+    def plan_round(
+        self, views: Sequence["SharedDTree"], width: int
+    ) -> List[Tuple[int, List[Tuple["SharedDTree", float]]]]:
+        """Plan one refinement round: up to ``width`` leaves, most valuable first.
+
+        The frontier partitioner of the lane machinery.  Each gating view
+        contributes its current most influential open leaf (influence ×
+        bound gap, measured against *that view's* root); contributions to
+        the same shared nid add up — the "bound-width mass summed over the
+        tuples it gates".  The plan is the top ``width`` distinct leaves by
+        summed score, ties towards the oldest nid (creation order), listed
+        in rank order — which is also the commit order.  A pure function of
+        the frozen table state and the views' frontiers, which is what makes
+        the round schedule — and with it every decided set, bound, and step
+        count — independent of how many lanes later compute the cofactors.
+
+        Each entry is ``(leaf nid, [(view, path weight), ...])``; the leaves
+        are distinct by construction (every view contributes at most one
+        entry and equal leaves merge), so the planned expansions touch
+        disjoint rows and their compute phases are independent.
+
+        Must be called under the store lock (every public caller is).
+        """
+        contributions: Dict[int, List[Tuple["SharedDTree", float]]] = {}
+        scores: Dict[int, float] = {}
+        # Candidates with identical lineage share one view object; process
+        # it once or its influence would double-count (and its heap would
+        # absorb the expansion twice).
+        seen_views: set = set()
+        for view in views:
+            if id(view) in seen_views:
+                continue
+            seen_views.add(id(view))
+            entry = view._peek()
+            if entry is None:
+                continue
+            influence, weight, leaf = entry
+            scores[leaf] = scores.get(leaf, 0.0) + influence
+            contributions.setdefault(leaf, []).append((view, weight))
+        ranked = sorted(scores, key=lambda nid: (-scores[nid], nid))
+        return [(leaf, contributions[leaf]) for leaf in ranked[:width]]
+
+    def refine_round(
+        self,
+        views: Sequence["SharedDTree"],
+        width: int,
+        lane_pool: Optional["object"] = None,
+    ) -> int:
+        """One data-parallel refinement round over the gating ``views``.
+
+        Four phases, metered as one logical step per committed expansion no
+        matter how many lanes ran or how many tuples each expansion serves:
+
+        1. **plan** (under the lock): :meth:`plan_round` freezes up to
+           ``width`` distinct most-valuable leaves, in commit order;
+        2. **compute** (the only parallel phase): each planned leaf's branch
+           variable and cofactor DNFs are derived from its open-leaf DNF — a
+           pure computation that never touches the table — either inline
+           (``lane_pool=None``, the lanes=0 schedule) or fanned across the
+           pool's lanes, which own disjoint slices of the plan;
+        3. **commit** (serial, in plan order): each expansion mutates its
+           leaf row in place via :meth:`_commit_expansion` — node creation
+           order, and with it every nid, is identical for lanes=0/1/N;
+        4. **flush + absorb**: one batched
+           :meth:`~repro.prob.nodetable.NodeTable.propagate_from_many` pass
+           repairs the joint ancestor closure (the per-lane bound updates
+           buffered by the deferred commits), then every contributing view
+           absorbs its expansion in plan order.
+
+        Returns the expansions performed (0 when no gating view has an open
+        frontier left).  ``refine_round(views, 1)`` is exactly the legacy
+        most-valuable-node primitive.
+        """
+        with self._lock:
+            plan = self.plan_round(views, width)
+            if not plan:
+                return 0
+            leaves = [leaf for leaf, _ in plan]
+            leaf_dnf = self._leaf_dnf
+
+            def cofactors(leaf: int) -> Tuple[int, DNF, DNF]:
+                dnf = leaf_dnf[leaf]
+                branch = branch_variable(dnf)
+                return branch, _cofactor_true(dnf, branch), dnf.condition(branch, False)
+
+            if lane_pool is None:
+                computed = [cofactors(leaf) for leaf in leaves]
+            else:
+                computed = lane_pool.map(cofactors, leaves)
+            for leaf, (branch, positive, negative) in zip(leaves, computed):
+                self._commit_expansion(leaf, branch, positive, negative)
+            self.table.propagate_from_many(leaves)
+            for leaf, contributors in plan:
+                for view, weight in contributors:
+                    view._absorb_expansion(leaf, weight)
+            if self.max_nodes is not None and self.node_count > self.max_nodes:
+                self.reset_nodes()
+            return len(plan)
+
     def refine_most_valuable(self, views: Sequence["SharedDTree"]) -> int:
         """Expand the shared node with the largest summed frontier value.
 
-        The scheduler primitive: each gating view contributes its current
-        most influential open leaf (influence × bound gap, measured against
-        *that view's* root); contributions to the same shared nid add up —
-        the "bound-width mass summed over the tuples it gates".  The winning
-        node is expanded once, which tightens every contributing tuple (and
-        any non-gating tuple that shares it) in the same logical step.
-        Ties break towards the oldest nid (creation order), keeping the
-        choice deterministic.  Returns the number of expansions performed
-        (0 when no view has an open frontier left).
+        The width-1 refinement round: the single most valuable node across
+        the gating views is expanded once, which tightens every contributing
+        tuple (and any non-gating tuple that shares it) in the same logical
+        step.  Ties break towards the oldest nid (creation order), keeping
+        the choice deterministic.  Returns the number of expansions
+        performed (0 when no view has an open frontier left).
         """
-        with self._lock:
-            contributions: Dict[int, List[Tuple["SharedDTree", float]]] = {}
-            scores: Dict[int, float] = {}
-            # Candidates with identical lineage share one view object; process
-            # it once or its influence would double-count (and its heap would
-            # absorb the expansion twice).
-            seen_views: set = set()
-            for view in views:
-                if id(view) in seen_views:
-                    continue
-                seen_views.add(id(view))
-                entry = view._peek()
-                if entry is None:
-                    continue
-                influence, weight, leaf = entry
-                scores[leaf] = scores.get(leaf, 0.0) + influence
-                contributions.setdefault(leaf, []).append((view, weight))
-            if not scores:
-                return 0
-            best = max(scores, key=lambda nid: (scores[nid], -nid))
-            self.expand_leaf(best)
-            for view, weight in contributions[best]:
-                view._absorb_expansion(best, weight)
-            return 1
+        return self.refine_round(views, 1)
 
     # -- delta updates (streaming) ------------------------------------------
 
@@ -520,11 +613,18 @@ class SharedLineageStore:
             "node_count": self.node_count,
             "max_nodes": self.max_nodes,
             # Delta-update registries: product members in build fold order
-            # (ints, so the tuples ship safely) and ⊙ branch variables.  The
-            # variable index is rebuilt on rehydration from these plus the
-            # open-leaf DNFs.
+            # (ints, so the tuples ship safely), ⊙ branch variables, and the
+            # variable→dependent-rows index verbatim.  The index *could* be
+            # replayed from the other registries, but a replay loses the
+            # original registration order and the stale leaf-era entries of
+            # expanded rows — shipping it keeps every registry byte-for-byte
+            # across the round trip, so a lane-shipped segment's delta
+            # behaviour is the exporting store's by construction.
             "const_vars": [(nid, members) for nid, members in self._const_vars.items()],
             "branch_vars": list(self._branch_var.items()),
+            "var_index": [
+                (variable, list(nids)) for variable, nids in self._var_index.items()
+            ],
             "retired_nodes": self.retired_nodes,
         }
 
@@ -550,12 +650,22 @@ class SharedLineageStore:
         }
         store._branch_var = dict(segment.get("branch_vars", []))
         store.retired_nodes = segment.get("retired_nodes", 0)
-        for nid, members in store._const_vars.items():
-            store._register_dependents(nid, members)
-        for nid, branch in store._branch_var.items():
-            store._register_dependents(nid, (branch,))
-        for nid, dnf in store._leaf_dnf.items():
-            store._register_dependents(nid, dnf.variables())
+        var_index = segment.get("var_index")
+        if var_index is not None:
+            store._var_index = {
+                variable: list(nids) for variable, nids in var_index
+            }
+        else:
+            # Pre-PR-9 segment: replay registration from the other
+            # registries.  Equivalent for delta updates (stale entries are
+            # skipped and reseed order never shows in results), but not
+            # byte-for-byte — the verbatim index above is.
+            for nid, members in store._const_vars.items():
+                store._register_dependents(nid, members)
+            for nid, branch in store._branch_var.items():
+                store._register_dependents(nid, (branch,))
+            for nid, dnf in store._leaf_dnf.items():
+                store._register_dependents(nid, dnf.variables())
         return store
 
 

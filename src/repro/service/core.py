@@ -22,7 +22,12 @@ Concurrency model — **admission is concurrent, refinement is serial**:
   engine.  The store's lock/epoch discipline
   (:meth:`repro.prob.sharedag.SharedLineageStore.pinned`) additionally
   keeps every mutation serialised and defers node-budget epoch resets to
-  request boundaries.
+  request boundaries.  With :attr:`ServiceConfig.refine_lanes` the single
+  lane becomes a lane *pool*: requests still execute one at a time in
+  admission order, but each request's shared refinement rounds fan their
+  pure compute phase across N data-parallel lanes
+  (:class:`repro.sprout.parallel.RefinementLanePool`) — the round schedule
+  is planned before any lane runs, so responses stay bit-identical.
 
 This is what makes the **determinism contract** hold: the decided sets,
 confidences, bounds, and step counts of an interleaved request sequence are
@@ -69,12 +74,17 @@ class ServiceConfig:
     request asking for more is rejected with a 400); ``default_max_steps``
     applies when a request names no budget at all (``None`` keeps the
     engine's own budget arithmetic: per-tuple default cap, exhaustion
-    raised).
+    raised).  ``refine_lanes`` turns the single refinement lane into a lane
+    *pool*: requests still execute one at a time in admission order, but
+    each request's shared refinement rounds fan their compute phase across
+    N data-parallel lanes — responses stay bit-identical to ``0`` (``None``
+    defers to the engine default, i.e. the ``REPRO_LANES`` env var).
     """
 
     max_pending: int = 32
     max_steps_ceiling: Optional[int] = None
     default_max_steps: Optional[int] = None
+    refine_lanes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -84,6 +94,10 @@ class ServiceConfig:
         if self.max_steps_ceiling is not None and self.max_steps_ceiling < 0:
             raise PlanningError(
                 f"max_steps_ceiling must be non-negative, got {self.max_steps_ceiling}"
+            )
+        if self.refine_lanes is not None and self.refine_lanes < 0:
+            raise PlanningError(
+                f"refine_lanes must be non-negative, got {self.refine_lanes}"
             )
 
 
@@ -145,8 +159,10 @@ class QueryService:
         Optionally a pre-built :class:`~repro.sprout.engine.SproutEngine`.
         By default the service builds one with ``workers=0`` — serial
         in-process refinement is what reuses the shared store across
-        requests (a shipped worker segment deliberately does not) — and the
-        engine's own ``shared_lineage``/``vectorize`` env-knob defaults.
+        requests (a shipped worker segment deliberately does not) — the
+        config's ``refine_lanes`` (turning the single refinement lane into
+        a lane pool inside each request), and the engine's own
+        ``shared_lineage``/``vectorize`` env-knob defaults.
 
     Lifecycle: :meth:`start` spawns the refinement lane, :meth:`close`
     drains it and closes the engine (both idempotent; the class is a
@@ -166,7 +182,13 @@ class QueryService:
         engine: Optional[SproutEngine] = None,
     ):
         self.config = config if config is not None else ServiceConfig()
-        self.engine = engine if engine is not None else SproutEngine(database, workers=0)
+        self.engine = (
+            engine
+            if engine is not None
+            else SproutEngine(
+                database, workers=0, refine_lanes=self.config.refine_lanes
+            )
+        )
         self.database = self.engine.database
         self._queue: "queue.Queue[Optional[_Job]]" = queue.Queue(
             maxsize=self.config.max_pending
@@ -213,7 +235,9 @@ class QueryService:
                 self._queue.put(None)  # FIFO: lands behind all admitted jobs
             lane.join(timeout=60)
         self._lane = None
-        self._subscriptions.clear()
+        subscriptions, self._subscriptions = dict(self._subscriptions), {}
+        for watch in subscriptions.values():
+            watch.close()
         self.engine.close()
 
     def __enter__(self) -> "QueryService":
@@ -466,8 +490,9 @@ class QueryService:
         return payload
 
     def _do_subscription_delete(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        subscription, _ = self._subscription_for(params)
+        subscription, watch = self._subscription_for(params)
         del self._subscriptions[subscription]
+        watch.close()  # releases the standing query's lane pool, if any
         return {"kind": "unsubscribe", "subscription": subscription}
 
     # -- observability (any thread) -----------------------------------------
@@ -488,6 +513,7 @@ class QueryService:
             "in_flight": self.in_flight(),
             "max_pending": self.config.max_pending,
             "subscriptions": len(self._subscriptions),
+            "refine_lanes": self.engine.refine_lanes,
             "cache": self.engine.cache_stats(),
         }
         if self.engine.shared_lineage and not getattr(self.engine, "_closed", False):

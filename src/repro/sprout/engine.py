@@ -100,6 +100,7 @@ from repro.sprout.onescan import columnar_lineage, sort_column_order
 from repro.sprout.parallel import (
     ConfidenceExecutor,
     ParallelRefinementScheduler,
+    RefinementLanePool,
     compute_confidences,
     finish_exact,
     run_shared_scheduled,
@@ -271,6 +272,18 @@ def _default_dtree_cache_size() -> int:
     return env_int("REPRO_DTREE_CACHE", default=DEFAULT_MAX_NODES, minimum=1)
 
 
+def _default_refine_lanes() -> int:
+    """Refinement-lane default: the ``REPRO_LANES`` env var, else 0.
+
+    ``REPRO_LANES=N`` switches every shared refinement round's compute phase
+    onto an ``N``-lane thread pool without touching any call site — the CI
+    hook that runs the whole tier-1 suite multi-lane.  Decided sets, bounds,
+    and step counts are bit-identical for every value, so this is purely a
+    throughput knob.
+    """
+    return env_int("REPRO_LANES", default=0, minimum=0)
+
+
 @dataclass
 class _AnswerLineage:
     """A materialised answer reduced to what the lineage routes consume."""
@@ -337,6 +350,19 @@ class SproutEngine:
         ``REPRO_DTREE_CACHE`` environment variable.  Eviction is by *node
         count*, not entry count, so a handful of huge lineages cannot blow
         memory.
+    refine_lanes
+        Data-parallel lane count for shared refinement rounds.  ``0`` — the
+        default, or the ``REPRO_LANES`` environment variable when set —
+        computes every round inline; ``N >= 1`` fans each round's pure
+        cofactor computation across an ``N``-thread lane pool kept for the
+        engine's lifetime (released by :meth:`close`).  The round schedule
+        is planned before any lane runs, so decided sets, confidences,
+        bounds, and step counts are **bit-identical** for ``refine_lanes``
+        0/1/N — unlike ``workers``, lanes never even change the work done
+        to decide.  Lanes ride the shared-lineage scheduler (serial route
+        when ``shared_lineage`` is on, and inside the shared worker run for
+        ``workers >= 1``); the legacy per-tuple path has no rounds to fan
+        out and ignores the knob.
 
     Each :meth:`evaluate` call may override ``execution``, ``confidence``,
     ``epsilon``, and ``workers``.
@@ -369,6 +395,7 @@ class SproutEngine:
         shared_lineage: Optional[bool] = None,
         dtree_cache_size: Optional[int] = None,
         vectorize: Optional[bool] = None,
+        refine_lanes: Optional[int] = None,
     ):
         if execution not in EXECUTION_MODES:
             raise PlanningError(
@@ -393,6 +420,12 @@ class SproutEngine:
         elif dtree_cache_size < 1:
             raise PlanningError(
                 f"dtree_cache_size must be positive, got {dtree_cache_size}"
+            )
+        if refine_lanes is None:
+            refine_lanes = _default_refine_lanes()
+        if refine_lanes < 0:
+            raise PlanningError(
+                f"refine_lanes must be non-negative, got {refine_lanes}"
             )
         self.database = database
         self.execution = execution
@@ -426,6 +459,10 @@ class SproutEngine:
             else DTreeCache(max_nodes=dtree_cache_size)
         )
         self.planner = JoinOrderPlanner(database)
+        self.refine_lanes = refine_lanes
+        #: Lazily created engine-lifetime lane pool (``refine_lanes >= 1``);
+        #: threads cost nothing until the first shared round asks for them.
+        self._lane_pool: Optional[RefinementLanePool] = None
         self._executors: Dict[int, ConfidenceExecutor] = {}
         #: Lifecycle flag plus the cache-counter snapshot taken at close():
         #: a closed engine answers :meth:`cache_stats` from the snapshot
@@ -451,6 +488,14 @@ class SproutEngine:
             raise PlanningError(f"workers must be non-negative, got {workers}")
         return workers
 
+    def _lane_pool_for_rounds(self) -> Optional[RefinementLanePool]:
+        """The engine-lifetime lane pool, or ``None`` with ``refine_lanes=0``."""
+        if self.refine_lanes < 1:
+            return None
+        if self._lane_pool is None:
+            self._lane_pool = RefinementLanePool(self.refine_lanes)
+        return self._lane_pool
+
     def close(self) -> None:
         """Shut down worker pools and release the lineage cache (idempotent).
 
@@ -471,6 +516,12 @@ class SproutEngine:
                 # A pool that broke mid-run (dead worker, interpreter
                 # shutdown) may refuse a second shutdown; close() promises
                 # not to propagate that.
+                pass
+        lane_pool, self._lane_pool = self._lane_pool, None
+        if lane_pool is not None:
+            try:
+                lane_pool.close()
+            except Exception:
                 pass
         if not self._closed:
             self._closed_stats = self._live_cache_stats()
@@ -874,6 +925,7 @@ class SproutEngine:
             shared_lineage=self.shared_lineage,
             cache_nodes=self.dtree_cache_size,
             vectorize=self.vectorize,
+            refine_lanes=self.refine_lanes,
             schema=answer.schema,
             name=query.name,
             execution=execution,
@@ -1028,6 +1080,7 @@ class SproutEngine:
         # ApproximationBudgetError; an explicit per-call max_steps instead
         # caps the whole call (leftover after the decision, shared across
         # tuples) and is reported, never raised.
+        shared = self.shared_lineage
         return run_decision(
             candidates,
             k,
@@ -1035,7 +1088,8 @@ class SproutEngine:
             confidence,
             max_steps,
             self.dtree_max_steps,
-            store=self.dtree_cache.store if self.shared_lineage else None,
+            store=self.dtree_cache.store if shared else None,
+            lane_pool=self._lane_pool_for_rounds() if shared else None,
         )
 
     def _run_parallel_scheduler(
@@ -1081,6 +1135,7 @@ class SproutEngine:
                 default_cap=self.dtree_max_steps,
                 max_nodes=self.dtree_cache_size,
                 vectorize=self.vectorize,
+                refine_lanes=self.refine_lanes,
             )
         scheduler = ParallelRefinementScheduler(
             answer.lineage,

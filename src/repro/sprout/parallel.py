@@ -98,6 +98,7 @@ __all__ = [
     "ParallelCandidate",
     "ParallelOutcome",
     "ParallelRefinementScheduler",
+    "RefinementLanePool",
     "SharedRunTask",
     "SharedRunOutcome",
     "compute_confidences",
@@ -121,6 +122,65 @@ DEFAULT_FRONTIER = 8
 #: stragglers (tuples with heavy lineage) can be balanced across the pool
 #: while per-task IPC overhead stays amortised.
 OVERPARTITION = 4
+
+
+class RefinementLanePool:
+    """N data-parallel lanes for the compute phase of shared refinement rounds.
+
+    The lane half of the multi-lane refinement machinery
+    (:meth:`repro.prob.sharedag.SharedLineageStore.refine_round`): a round's
+    *plan* — which leaves to expand, in which commit order — is fixed under
+    the store lock before any lane runs, and only the pure per-leaf cofactor
+    computation is fanned out here.  Each lane owns a disjoint strided slice
+    of the planned leaves (lane ``i`` computes plan entries ``i``, ``i+N``,
+    ``i+2N``, ...), results are reassembled into plan order, and the serial
+    commit phase consumes them exactly as the inline (``lanes=0``) schedule
+    would have produced them — which is why lane count never shows up in
+    decided sets, bounds, or step counts.
+
+    Lanes are threads (`concurrent.futures.ThreadPoolExecutor`): the compute
+    phase never touches the node table, so there is nothing to lock, and the
+    DNF cofactor work releases no state a process pool would need shipped.
+    The pool is reusable across rounds and decisions; :meth:`close` shuts the
+    threads down (the engine does this from ``SproutEngine.close()``).
+    """
+
+    def __init__(self, lanes: int):
+        if lanes < 1:
+            raise PlanningError(f"refinement lanes must be positive, got {lanes}")
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.lanes = lanes
+        self._executor = ThreadPoolExecutor(
+            max_workers=lanes, thread_name_prefix="repro-refine-lane"
+        )
+
+    def map(self, fn, items: Sequence) -> List:
+        """Apply ``fn`` over ``items``, preserving order; lanes own strided slices."""
+        items = list(items)
+        if len(items) <= 1:
+            # A single planned expansion (or none) has no parallelism to
+            # exploit; skip the executor round trip.
+            return [fn(item) for item in items]
+        lanes = min(self.lanes, len(items))
+
+        def lane_worker(offset: int) -> List:
+            return [fn(item) for item in items[offset::lanes]]
+
+        out: List = [None] * len(items)
+        for offset, results in enumerate(self._executor.map(lane_worker, range(lanes))):
+            for position, value in enumerate(results):
+                out[offset + lanes * position] = value
+        return out
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RefinementLanePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def derive_task_seed(
@@ -286,6 +346,7 @@ class SharedRunTask:
         "confidence",
         "max_steps",
         "default_cap",
+        "refine_lanes",
     )
 
     def __init__(
@@ -299,6 +360,7 @@ class SharedRunTask:
         max_steps: Optional[int],
         default_cap: Optional[int],
         key: int = 0,
+        refine_lanes: int = 0,
     ):
         self.key = key
         self.segment = segment
@@ -309,6 +371,7 @@ class SharedRunTask:
         self.confidence = confidence
         self.max_steps = max_steps
         self.default_cap = default_cap
+        self.refine_lanes = refine_lanes
 
 
 class SharedRunOutcome:
@@ -409,6 +472,13 @@ def execute_shared_run(task: SharedRunTask) -> SharedRunOutcome:
     candidates = [
         TupleCandidate(data, tree=views[index]) for data, index in task.candidates
     ]
+    # Lanes nest inside workers: the shipped decision may itself fan its
+    # rounds' cofactor computation across a short-lived lane pool.  The
+    # round schedule is planned before any lane runs, so the worker stays
+    # bit-identical to the driver whatever ``refine_lanes`` says.
+    lane_pool = (
+        RefinementLanePool(task.refine_lanes) if task.refine_lanes > 0 else None
+    )
     try:
         outcome, finishing_steps = run_decision(
             candidates,
@@ -418,6 +488,7 @@ def execute_shared_run(task: SharedRunTask) -> SharedRunOutcome:
             task.max_steps,
             task.default_cap,
             store=store,
+            lane_pool=lane_pool,
         )
     except ApproximationBudgetError as error:
         return SharedRunOutcome(
@@ -427,6 +498,9 @@ def execute_shared_run(task: SharedRunTask) -> SharedRunOutcome:
             budget_upper=error.upper,
             budget_steps=error.steps,
         )
+    finally:
+        if lane_pool is not None:
+            lane_pool.close()
     index_of = {id(candidate): index for index, candidate in enumerate(candidates)}
     return SharedRunOutcome(
         key=task.key,
@@ -1111,6 +1185,7 @@ def run_shared_scheduled(
     default_cap: Optional[int],
     max_nodes: Optional[int] = DEFAULT_MAX_NODES,
     vectorize: Optional[bool] = None,
+    refine_lanes: int = 0,
 ) -> Tuple[ParallelOutcome, int]:
     """Drive one shared-lineage top-k/threshold run through an executor.
 
@@ -1131,6 +1206,12 @@ def run_shared_scheduled(
     bracket (the serial contract); a worker failure raises
     :class:`repro.errors.ParallelExecutionError`.  Returns
     ``(outcome, finishing_steps)`` in the engine scheduler convention.
+
+    ``refine_lanes`` rides the task: the worker builds a short-lived
+    :class:`RefinementLanePool` for its rounds' compute phase.  Lanes nest
+    inside workers freely — the round schedule is planned before any lane
+    runs, so every combination of ``workers`` × ``refine_lanes`` decides
+    identically.
     """
     cache = SharedDTreeCache(max_nodes=max_nodes, vectorize=vectorize)
     trees = dtrees_from_dnfs(lineage, probabilities, cache=cache)
@@ -1155,6 +1236,7 @@ def run_shared_scheduled(
         confidence=confidence,
         max_steps=max_steps,
         default_cap=default_cap,
+        refine_lanes=refine_lanes,
     )
     payload = executor.run([task])[0]
     if payload.kind == "error":

@@ -97,12 +97,14 @@ class StandingQuery:
         :class:`repro.errors.ApproximationBudgetError`); an explicit
         ``max_steps`` caps the whole refresh and is reported via
         ``decided=False``, never raised.
-    shared_lineage / cache_nodes / vectorize
+    shared_lineage / cache_nodes / vectorize / refine_lanes
         The substrate knobs, mirroring the engine's: shared mode (default)
         compiles candidates into one private hash-consed store and is what
         makes deltas incremental; ``cache_nodes`` bounds it (node count);
-        ``vectorize`` picks the numeric backend (results are bit-identical
-        either way).
+        ``vectorize`` picks the numeric backend; ``refine_lanes`` fans
+        each refresh's shared refinement rounds across a lane pool owned by
+        the standing query (results are bit-identical whatever the backend
+        or lane count).
     schema / name / execution
         Result-shaping metadata for the returned
         :class:`~repro.sprout.engine.EvaluationResult`; ``schema`` defaults
@@ -128,6 +130,7 @@ class StandingQuery:
         shared_lineage: bool = True,
         cache_nodes: Optional[int] = DEFAULT_MAX_NODES,
         vectorize: Optional[bool] = None,
+        refine_lanes: int = 0,
         schema: Optional[Schema] = None,
         name: str = "standing",
         execution: str = "row",
@@ -141,6 +144,10 @@ class StandingQuery:
         if confidence not in ("exact", "approx"):
             raise PlanningError(
                 f"unknown confidence mode {confidence!r}; choose from ('exact', 'approx')"
+            )
+        if refine_lanes < 0:
+            raise PlanningError(
+                f"refine_lanes must be non-negative, got {refine_lanes}"
             )
         self.k = k
         self.tau = tau
@@ -157,6 +164,10 @@ class StandingQuery:
             else DTreeCache(max_nodes=cache_nodes)
         )
         self._cache_nodes = cache_nodes
+        self.refine_lanes = refine_lanes
+        #: Lazily created lane pool for shared refreshes; the standing query
+        #: owns it (its store is private), released by :meth:`close`.
+        self._lane_pool = None
         self.probabilities: Dict[int, float] = dict(probabilities)
         self.lineage: Dict[DataTuple, DNF] = {}
         self._candidates: Dict[DataTuple, TupleCandidate] = {}
@@ -180,6 +191,26 @@ class StandingQuery:
     @property
     def _store(self):
         return self._cache.store if self.shared_lineage else None
+
+    def _lane_pool_for_rounds(self):
+        """The standing lane pool, or ``None`` (``refine_lanes=0`` / legacy mode)."""
+        if self.refine_lanes < 1 or not self.shared_lineage:
+            return None
+        if self._lane_pool is None:
+            from repro.sprout.parallel import RefinementLanePool
+
+            self._lane_pool = RefinementLanePool(self.refine_lanes)
+        return self._lane_pool
+
+    def close(self) -> None:
+        """Release the standing lane pool (idempotent; a no-op without one).
+
+        The pool is recreated lazily if the query refreshes again, so close
+        is safe at any point in the standing query's life.
+        """
+        pool, self._lane_pool = self._lane_pool, None
+        if pool is not None:
+            pool.close()
 
     @property
     def _interner(self):
@@ -340,6 +371,7 @@ class StandingQuery:
             self.max_steps,
             self.default_cap,
             store=self._store,
+            lane_pool=self._lane_pool_for_rounds(),
         )
         delta_steps = outcome.steps + finishing_steps
         self.delta_steps = delta_steps

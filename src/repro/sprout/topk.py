@@ -173,9 +173,18 @@ class RefinementScheduler:
         The :class:`repro.prob.sharedag.SharedLineageStore` backing the
         candidates' trees, when they are shared views.  Switches grants to
         shared-node scheduling: instead of refining the crossing pair's
-        wider bracket by a chunk, each grant expands the one shared node
-        with the largest bound-width mass summed over the gating tuples —
-        and the step is counted once no matter how many tuples it tightens.
+        wider bracket by a chunk, each grant runs a refinement *round* over
+        the shared nodes with the largest bound-width mass summed over the
+        gating tuples — and every expansion is counted as one logical step
+        no matter how many tuples it tightens.
+    lane_pool
+        Optional data-parallel lane pool (any object with a ``map(fn,
+        items)`` method, e.g. :class:`repro.sprout.parallel.RefinementLanePool`)
+        handed to the store's :meth:`~repro.prob.sharedag.SharedLineageStore.refine_round`.
+        Lanes parallelise only the pure cofactor computation inside a round;
+        the round *schedule* is planned before any lane runs, so outcomes
+        are bit-identical with and without a pool.  Ignored when ``store``
+        is ``None``.
 
     :meth:`run_topk` and :meth:`run_threshold` return a
     :class:`SchedulerOutcome`; both raise
@@ -191,6 +200,7 @@ class RefinementScheduler:
         chunk: int = DEFAULT_CHUNK,
         max_steps: Optional[int] = None,
         store: Optional[SharedLineageStore] = None,
+        lane_pool: Optional[object] = None,
     ):
         if chunk < 1:
             raise PlanningError(f"chunk must be positive, got {chunk}")
@@ -200,6 +210,7 @@ class RefinementScheduler:
         self.chunk = chunk
         self.max_steps = max_steps
         self.store = store
+        self.lane_pool = lane_pool
         self.steps = 0
         # Rank tiebreak on the data tuple's repr, precomputed once as a
         # numeric index: candidate *order* differs between the row and batch
@@ -221,16 +232,17 @@ class RefinementScheduler:
         self.steps += candidate.refine(budget)
 
     def _grant_shared(self, gating: List[TupleCandidate]) -> int:
-        """A small batch of shared-node expansions for the gating set.
+        """One shared refinement round for the gating set.
 
-        Each expansion targets the node with the largest summed frontier
-        value across the gating views — "bound-width mass over the tuples
-        it gates" — so a clause block recurring under many candidates is
-        refined once *for all of them*.  Up to :data:`DEFAULT_SHARED_CHUNK`
-        expansions run between re-rankings: frequent re-checks keep the
-        step count near-minimal without paying the full ranking pass on
-        every single expansion.  Returns the steps performed (0 only when
-        no gating view has an open frontier left).
+        Each expansion targets a node among those with the largest summed
+        frontier value across the gating views — "bound-width mass over the
+        tuples it gates" — so a clause block recurring under many candidates
+        is refined once *for all of them*.  Up to :data:`DEFAULT_SHARED_CHUNK`
+        expansions run as one planned round between re-rankings (batched
+        bound propagation, optionally computed on data-parallel lanes):
+        frequent re-checks keep the step count near-minimal without paying
+        the full ranking pass on every single expansion.  Returns the steps
+        performed (0 only when no gating view has an open frontier left).
         """
         views = [c.tree for c in gating if c.tree is not None]
         if not views:
@@ -240,7 +252,9 @@ class RefinementScheduler:
             budget = min(budget, self.max_steps - self.steps)
         performed = 0
         while performed < budget:
-            advanced = self.store.refine_most_valuable(views)
+            advanced = self.store.refine_round(
+                views, budget - performed, self.lane_pool
+            )
             if advanced == 0:
                 break
             performed += advanced
@@ -353,6 +367,7 @@ def run_decision(
     max_steps: Optional[int],
     default_cap: Optional[int],
     store: Optional[SharedLineageStore] = None,
+    lane_pool: Optional[object] = None,
 ) -> Tuple[SchedulerOutcome, int]:
     """One complete bound-driven decision: schedule, decide, finish exact.
 
@@ -381,16 +396,21 @@ def run_decision(
     epoch reset triggered mid-decision is deferred until the decision
     finishes, which keeps interleaved requests over one store (the query
     service) bit-identical to running them serially.
+
+    ``lane_pool`` fans each shared round's cofactor computation across
+    data-parallel lanes (see :class:`RefinementScheduler`); because the
+    round schedule is fixed before any lane runs, the returned outcome is
+    bit-identical for no pool / 1 lane / N lanes.
     """
     if not candidates:
         return SchedulerOutcome(selected=[], candidates=[], decided=True, steps=0), 0
     if store is None:
         return _run_decision_unpinned(
-            candidates, k, tau, confidence, max_steps, default_cap, store
+            candidates, k, tau, confidence, max_steps, default_cap, store, lane_pool
         )
     with store.pinned():
         return _run_decision_unpinned(
-            candidates, k, tau, confidence, max_steps, default_cap, store
+            candidates, k, tau, confidence, max_steps, default_cap, store, lane_pool
         )
 
 
@@ -402,11 +422,13 @@ def _run_decision_unpinned(
     max_steps: Optional[int],
     default_cap: Optional[int],
     store: Optional[SharedLineageStore],
+    lane_pool: Optional[object] = None,
 ) -> Tuple[SchedulerOutcome, int]:
     scheduler = RefinementScheduler(
         candidates,
         max_steps=default_cap if max_steps is None else max_steps,
         store=store,
+        lane_pool=lane_pool,
     )
     outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
     finishing_steps = finish_selected(

@@ -303,6 +303,50 @@ def test_vectorized_axis_is_bit_identical(case, confidence):
 
 
 @pytest.mark.parametrize("case", sorted(CORPUS))
+@pytest.mark.parametrize("confidence", ["exact", "approx"])
+def test_lane_axis_is_bit_identical(case, confidence):
+    """Multi-lane vs. serial refinement: nothing may move a bit.
+
+    The round plan is frozen before any lane runs and commits land in plan
+    order, so data-parallel refinement (``refine_lanes=2``) is — like the
+    vectorize axis above — a throughput choice, never a semantic one.  The
+    deep per-round interleaving coverage lives in ``tests/test_lanes.py``;
+    this leg keeps the lane axis inside the differential matrix so a future
+    axis interaction (lanes × confidence × query shape) cannot regress
+    unnoticed.
+    """
+    build_db, make_query = CORPUS[case]
+    truth = _truth(case)
+    tau = sorted(truth.values())[len(truth) // 2] if truth else 0.5
+    fingerprints = {}
+    for lanes in (0, 2):
+        engine = SproutEngine(build_db(), epsilon=EPSILON, refine_lanes=lanes)
+        plain = engine.evaluate(make_query(), plan="dtree", confidence=confidence)
+        top = engine.evaluate_topk(
+            make_query(), k=2, plan="dtree", confidence=confidence
+        )
+        threshold = engine.evaluate_threshold(
+            make_query(), tau=tau, plan="dtree", confidence=confidence
+        )
+        fingerprints[lanes] = (
+            sorted(plain.confidences().items()),
+            sorted(plain.bounds.items()),
+            plain.refine_steps,
+            sorted(top.confidences().items()),
+            sorted(top.bounds.items()),
+            top.decided,
+            top.refine_steps,
+            sorted(threshold.confidences().items()),
+            sorted(threshold.bounds.items()),
+            threshold.decided,
+            threshold.refine_steps,
+            engine.dtree_cache.store.table.bounds_fingerprint(),
+        )
+        engine.close()
+    assert fingerprints[2] == fingerprints[0]
+
+
+@pytest.mark.parametrize("case", sorted(CORPUS))
 def test_topk_and_threshold_agree_across_backends(case):
     """The bounded APIs return identical answer sets under row and batch."""
     build_db, make_query = CORPUS[case]

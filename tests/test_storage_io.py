@@ -1,12 +1,16 @@
-"""Tests for heap files, external sort, and CSV I/O."""
+"""Tests for heap files, external sort, CSV I/O, and shipped store segments."""
 
 import os
+import pickle
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import StorageError
+from repro.prob.dtree import canonical_clauses
+from repro.prob.formulas import DNF
+from repro.prob.sharedag import SharedLineageStore
 from repro.storage.csv_io import read_csv, write_csv
 from repro.storage.external_sort import SortStats, external_sort, sort_key_for
 from repro.storage.heapfile import HeapFile
@@ -78,6 +82,82 @@ class TestExternalSort:
     def test_matches_builtin_sort(self, rows):
         expected = sorted(rows, key=lambda r: (sort_key_for(r[0]), sort_key_for(r[1])))
         assert list(external_sort(rows, [0, 1], max_rows_in_memory=16)) == expected
+
+
+class TestSegmentRoundTrip:
+    """`export_segment`/`from_segment` must preserve the delta registries.
+
+    Lane-shipped segments (the shared-parallel route, `SharedRunTask`) carry
+    the whole store across a process boundary; the worker's delta behaviour
+    is the driver's only if the PR 7 registries — `_var_index`,
+    `_const_vars`, `_leaf_dnf`, `_branch_var` — survive byte-for-byte, not
+    just up to semantic equivalence.  Regression guard: rehydration used to
+    *replay* the variable index from the other registries, which dropped
+    the stale leaf-era entries of expanded rows and reordered the rest.
+    """
+
+    def _warm_store(self):
+        store = SharedLineageStore()
+        probabilities = {v: 0.05 * (v + 3) for v in range(9)}
+        # Hierarchical-free chains compile to open leaves (no closed-form
+        # decomposition), which is what keeps refinement — and with it the
+        # branch/stale-entry registry churn this test pins — alive.
+        dnfs = [
+            DNF([[0, 1], [1, 2], [2, 3]]),
+            DNF([[2, 3], [3, 4], [4, 5]]),
+            DNF([[0, 5], [5, 6], [6, 7]]),
+            DNF([[6], [7, 8]]),
+        ]
+        views = []
+        for dnf in dnfs:
+            store.add_probabilities(dnf, probabilities)
+            from repro.prob.sharedag import SharedDTree
+
+            views.append(SharedDTree(store, dnf))
+        # Warm the registries past their construction state: expansions pop
+        # open leaves, add ⊙ branch entries, and leave stale leaf-era index
+        # entries behind — exactly the state a shipped mid-run segment has.
+        for _ in range(6):
+            if store.refine_most_valuable(views) == 0:
+                break
+        assert store.steps > 0 and store._branch_var
+        return store
+
+    def _rehydrated(self, store):
+        # The real shipped path pickles the segment (process boundary);
+        # round-tripping through bytes also proves nothing in the segment
+        # aliases unpicklable or salted state.
+        return SharedLineageStore.from_segment(
+            pickle.loads(pickle.dumps(store.export_segment()))
+        )
+
+    def test_registries_survive_byte_for_byte(self):
+        store = self._warm_store()
+        rebuilt = self._rehydrated(store)
+        assert rebuilt._var_index == store._var_index
+        assert list(rebuilt._var_index) == list(store._var_index)  # key order
+        assert rebuilt._const_vars == store._const_vars
+        assert list(rebuilt._const_vars) == list(store._const_vars)
+        assert rebuilt._branch_var == store._branch_var
+        assert list(rebuilt._branch_var) == list(store._branch_var)
+        assert list(rebuilt._leaf_dnf) == list(store._leaf_dnf)
+        for nid, dnf in store._leaf_dnf.items():
+            assert canonical_clauses(rebuilt._leaf_dnf[nid]) == canonical_clauses(dnf)
+        assert rebuilt.probabilities == store.probabilities
+        assert rebuilt.steps == store.steps
+        assert rebuilt.node_count == store.node_count
+        assert rebuilt.retired_nodes == store.retired_nodes
+        assert rebuilt.table.bounds_fingerprint() == store.table.bounds_fingerprint()
+
+    def test_delta_updates_match_after_round_trip(self):
+        store = self._warm_store()
+        rebuilt = self._rehydrated(store)
+        for variable, probability in ((1, 0.9), (4, 0.01), (8, 0.42)):
+            original = store.update_probability(variable, probability)
+            shipped = rebuilt.update_probability(variable, probability)
+            assert shipped.reseeded == original.reseeded
+            assert shipped.touched == original.touched
+        assert rebuilt.table.bounds_fingerprint() == store.table.bounds_fingerprint()
 
 
 class TestSortKey:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Consolidated benchmark reports: run an SF 0.001 suite, emit one JSON.
 
-Three suites, each pinned to scale factor 0.001 with one round per benchmark
+Four suites, each pinned to scale factor 0.001 with one round per benchmark
 (the asserted quantities are deterministic step counts, not timings):
 
 * ``core`` (default) — the refinement-core, shared-lineage, and top-k
@@ -20,6 +20,12 @@ Three suites, each pinned to scale factor 0.001 with one round per benchmark
   HTTP stack — a repeated top-10 request re-decides within one logical
   step, concurrent clients share one store, and a served standing query
   absorbs deltas warm.
+* ``lanes`` — the data-parallel refinement-lane benchmarks
+  (``benchmarks/bench_lanes.py``), consolidated into ``BENCH_lanes.json``:
+  lanes 0/1/4 decide the brand top-10 and τ-partition bit-identically
+  (asserted on every run), per-lane wall times are tracked, and the round
+  planner's frontier batching is pinned (fewer propagation passes at
+  width 4, same logical steps).
 
 Each report carries the per-benchmark median wall times and every
 ``extra_info`` counter, plus a ``summary`` with the headline numbers the
@@ -27,7 +33,7 @@ perf trajectory tracks.  CI uploads both files as artifacts on every push
 (``smoke-benchmark`` job), seeding a comparable series of step counts and
 wall times across commits.  Run locally from the repository root:
 
-    python tools/bench_report.py [--suite core|streaming|service] [output.json]
+    python tools/bench_report.py [--suite core|streaming|service|lanes] [output.json]
 
 The report fails loudly: a missing raw-result file, a benchmark that did
 not run, or an ``extra_info`` counter that a benchmark stopped recording
@@ -240,6 +246,40 @@ def consolidate_service(raw_json: Path) -> dict:
     return {"summary": summary, "benchmarks": benchmarks}
 
 
+def consolidate_lanes(raw_json: Path) -> dict:
+    raw, benchmarks, extra = collect(raw_json)
+    summary = {
+        "workload": "unsafe TPC-H brand decisions across refinement lanes, SF 0.001",
+        "lane_axis": extra("test_topk_lane_axis", "lane_axis"),
+        "topk": {
+            "refine_steps": extra("test_topk_lane_axis", "refine_steps"),
+            "store_steps": extra("test_topk_lane_axis", "store_steps"),
+            "seconds_by_lanes": extra("test_topk_lane_axis", "seconds_by_lanes"),
+            "speedup_lanes4": extra("test_topk_lane_axis", "speedup_lanes4"),
+        },
+        "threshold": {
+            "refine_steps": extra("test_threshold_lane_axis", "refine_steps"),
+            "store_steps": extra("test_threshold_lane_axis", "store_steps"),
+            "seconds_by_lanes": extra("test_threshold_lane_axis", "seconds_by_lanes"),
+            "speedup_lanes4": extra("test_threshold_lane_axis", "speedup_lanes4"),
+        },
+        "round_batching": {
+            "serial_rounds": extra("test_round_width_batches_the_frontier", "serial_rounds"),
+            "batched_rounds": extra(
+                "test_round_width_batches_the_frontier", "batched_rounds"
+            ),
+            "steps": extra("test_round_width_batches_the_frontier", "steps"),
+        },
+        "cores": extra("test_topk_lane_axis", "cores"),
+        "speedup_asserted": extra("test_topk_lane_axis", "speedup_asserted"),
+        # The contract the benchmarks assert unconditionally: lanes 0/1/4
+        # are bit-identical; reaching this summary means the gate held.
+        "lanes_bit_identical": True,
+    }
+    wall_clock_summary(summary, raw, benchmarks)
+    return {"summary": summary, "benchmarks": benchmarks}
+
+
 def print_core(summary: dict, output: Path) -> None:
     core = summary["refinement_core"]
     steps = summary["topk_decision_steps"]
@@ -271,6 +311,16 @@ def print_service(summary: dict, output: Path) -> None:
     )
 
 
+def print_lanes(summary: dict, output: Path) -> None:
+    batching = summary["round_batching"]
+    print(
+        f"bench report OK: lanes {summary['lane_axis']} bit-identical, "
+        f"topk={summary['topk']['refine_steps']} steps, "
+        f"rounds {batching['serial_rounds']}->{batching['batched_rounds']} "
+        f"at width 4 ({summary['cores']} cores) -> {output}"
+    )
+
+
 SUITES = {
     "core": {
         "benchmarks": [
@@ -293,6 +343,12 @@ SUITES = {
         "output": "BENCH_service.json",
         "consolidate": consolidate_service,
         "print": print_service,
+    },
+    "lanes": {
+        "benchmarks": ["benchmarks/bench_lanes.py"],
+        "output": "BENCH_lanes.json",
+        "consolidate": consolidate_lanes,
+        "print": print_lanes,
     },
 }
 
