@@ -28,6 +28,27 @@ class CatalogError(StorageError):
     """Raised when a table, key, or functional dependency lookup fails."""
 
 
+class StorageCorruptionError(StorageError):
+    """Raised when an on-disk page or sort-run file fails its integrity check.
+
+    Heap-file pages and external-sort run files carry a length prefix and a
+    CRC32 checksum; a truncated write, a flipped byte, or a short read is
+    detected at scan time and raised as this class instead of leaking a bare
+    ``json.JSONDecodeError`` or silently returning fewer rows.
+    """
+
+
+class SnapshotError(StorageError):
+    """Raised when a service snapshot cannot be written or fails verification.
+
+    On the read side this covers a missing/garbled magic header, a length
+    mismatch (truncation), and a checksum mismatch (corruption); the service
+    catches it at boot and starts cold with a structured warning.  On the
+    write side it means the atomic temp-file+rename protocol failed — the
+    previous snapshot, if any, is left intact.
+    """
+
+
 class QueryError(ReproError):
     """Raised for malformed conjunctive queries or parse errors."""
 
@@ -71,6 +92,34 @@ class ServiceOverloadedError(ServiceError):
     """Raised when admission control rejects a request because the bounded
     refinement queue is full.  The HTTP layer maps it to ``429`` — the
     client should retry after the in-flight work drains."""
+
+
+class ServiceConnectionError(ServiceError):
+    """Raised by :class:`repro.service.ServiceClient` when the HTTP transport
+    fails: connection refused/reset, a mid-response drop, or an unparsable
+    (truncated) body.  Wraps the underlying socket error so callers deal with
+    one structured type instead of raw ``OSError`` flavours; the client's
+    retry policy treats it as retryable."""
+
+    def __init__(self, message: str, cause: Optional[BaseException] = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class InjectedFault(ReproError):
+    """A scripted failure raised at a named seam by :mod:`repro.faults`.
+
+    Only ever raised when a test installs a :class:`repro.faults.FaultPlan`
+    (directly or via ``REPRO_FAULTS``); production code never sees it.  The
+    chaos battery asserts that wherever one of these fires, the system
+    returns a structured error or a correctly degraded answer — never a hang,
+    never an unsound bound.
+    """
+
+    def __init__(self, seam: str, call: int):
+        super().__init__(f"injected fault at seam {seam!r} (call #{call})")
+        self.seam = seam
+        self.call = call
 
 
 class UnsafePlanError(PlanningError):

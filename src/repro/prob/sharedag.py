@@ -62,6 +62,7 @@ from heapq import heappop, heappush
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ProbabilityError
+from repro.faults import fault_point
 from repro.prob.delta import DeltaReport, apply_probability_update
 from repro.prob.delta import retire_view as _retire_view
 from repro.prob.dtree import (
@@ -480,6 +481,7 @@ class SharedLineageStore:
         views: Sequence["SharedDTree"],
         width: int,
         lane_pool: Optional["object"] = None,
+        deadline: Optional["object"] = None,
     ) -> int:
         """One data-parallel refinement round over the gating ``views``.
 
@@ -505,7 +507,22 @@ class SharedLineageStore:
         Returns the expansions performed (0 when no gating view has an open
         frontier left).  ``refine_round(views, 1)`` is exactly the legacy
         most-valuable-node primitive.
+
+        ``deadline`` (a :class:`repro.deadline.Deadline`) is consulted once,
+        at entry — *before* the round is planned, so an expired deadline
+        returns 0 with the table untouched and every bound exactly where the
+        previous round left it (sound by monotonicity).  A round is never
+        interrupted mid-flight: that is the invariant that keeps step-metered
+        results bit-identical while only the stopping point tracks the clock.
+
+        The ``store.propagate`` fault seam also fires here at entry, before
+        any mutation, so an injected fault leaves the store consistent: the
+        caller sees a structured error and a clean retry (or the next
+        request) resumes from sound bounds.
         """
+        if deadline is not None and deadline.expired():
+            return 0
+        fault_point("store.propagate")
         with self._lock:
             plan = self.plan_round(views, width)
             if not plan:
@@ -983,3 +1000,55 @@ class SharedDTreeCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+
+    # -- crash-recoverable snapshots ----------------------------------------
+
+    def export_state(self) -> dict:
+        """The cache's full warm state as a picklable dict.
+
+        The snapshot payload of the query service: the store segment (the
+        same :meth:`SharedLineageStore.export_segment` the parallel
+        scheduler ships) plus every cached view as ``(canonical clauses,
+        root nid)`` — frozensets never cross the process boundary, their
+        iteration order is salted per process.  Taken under the store lock,
+        so the segment and the view table are one consistent cut.
+        """
+        with self.store.lock:
+            return {
+                "segment": self.store.export_segment(),
+                "views": [
+                    (
+                        tuple(sorted(tuple(sorted(clause)) for clause in key)),
+                        view.root,
+                    )
+                    for key, view in self._views.items()
+                ],
+                "counters": (self.hits, self.misses, self.evictions),
+                "max_entries": self.max_entries,
+                "max_nodes": self.max_nodes,
+                "vectorize": self.vectorize,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SharedDTreeCache":
+        """Rebuild a warm cache from :meth:`export_state`.
+
+        The restored store continues exactly where the exporting process
+        stood (same table, same nids, same intern map), and every view is
+        rebuilt over its original root via :meth:`SharedDTree.from_root` —
+        so the first repeat of a previously decided query is a cache hit on
+        already-closed bounds: the ≤1-step warm re-decide the service's
+        crash recovery promises.
+        """
+        cache = cls(
+            max_entries=state["max_entries"],
+            max_nodes=state["max_nodes"],
+            vectorize=state["vectorize"],
+        )
+        cache.store = SharedLineageStore.from_segment(state["segment"])
+        for clauses, root in state["views"]:
+            key = dnf_from_canonical(clauses).clauses
+            cache._views[key] = SharedDTree.from_root(cache.store, root)
+        cache.hits, cache.misses, cache.evictions = state["counters"]
+        cache._epoch = cache.store.reset_epoch
+        return cache

@@ -19,16 +19,20 @@ Run one with ``python -m repro.service`` (see :mod:`repro.service.__main__`)
 or embed :class:`QueryService` / :class:`ServiceServer` directly.
 """
 
-from .client import ServiceClient, arequest
+from .client import RetryPolicy, ServiceClient, arequest
 from .core import QueryService, ServiceConfig, result_payload
 from .http import ServiceServer, serve
+from .snapshot import read_snapshot, write_snapshot
 
 __all__ = [
     "QueryService",
+    "RetryPolicy",
     "ServiceConfig",
     "ServiceClient",
     "ServiceServer",
     "arequest",
+    "read_snapshot",
     "result_payload",
     "serve",
+    "write_snapshot",
 ]

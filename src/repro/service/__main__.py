@@ -109,13 +109,38 @@ def main(argv=None) -> int:
         default=None,
         help="reject requests asking for a larger max_steps budget (default: no ceiling)",
     )
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="default wall-clock deadline per decision request; expired requests "
+        "return their current sound bounds with degraded=deadline (default: none)",
+    )
+    parser.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="crash-recovery snapshot file: restored at boot, written on shutdown "
+        "(and periodically with --snapshot-every)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also write the snapshot after every N completed requests",
+    )
     args = parser.parse_args(argv)
 
     database = _build_database(args.dataset, args.scale)
     service = QueryService(
         database,
         config=ServiceConfig(
-            max_pending=args.max_pending, max_steps_ceiling=args.max_steps_ceiling
+            max_pending=args.max_pending,
+            max_steps_ceiling=args.max_steps_ceiling,
+            default_timeout_ms=args.timeout_ms,
+            snapshot_path=args.snapshot,
+            snapshot_every=args.snapshot_every,
         ),
     )
 

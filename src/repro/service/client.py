@@ -3,6 +3,10 @@
 :class:`ServiceClient` wraps :mod:`http.client` with a fresh connection per
 request — boring on purpose, so tests and tools exercise the server's real
 socket path without a client-side connection pool hiding transport bugs.
+Transport failures (refused connection, reset mid-response, truncated body)
+surface as :class:`repro.errors.ServiceConnectionError`, never as raw socket
+exceptions, and are retried under a :class:`RetryPolicy` together with 429 /
+503 responses — jittered exponential backoff, honouring ``Retry-After``.
 :func:`arequest` is the coroutine flavour the concurrency stress test uses
 to keep many requests genuinely in flight on one event loop.
 """
@@ -12,11 +16,14 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
-from typing import Any, Dict, Optional, Tuple
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import ServiceError, ServiceOverloadedError
+from repro.errors import ServiceConnectionError, ServiceError, ServiceOverloadedError
 
-__all__ = ["ServiceClient", "arequest"]
+__all__ = ["RetryPolicy", "ServiceClient", "arequest"]
 
 
 def _raise_for_status(status: int, payload: Dict[str, Any]) -> None:
@@ -24,6 +31,44 @@ def _raise_for_status(status: int, payload: Dict[str, Any]) -> None:
     if status == 429:
         raise ServiceOverloadedError(message)
     raise ServiceError(f"HTTP {status}: {message}")
+
+
+@dataclass
+class RetryPolicy:
+    """How :class:`ServiceClient` retries transient failures.
+
+    A retry budget of ``retries`` attempts *beyond* the first covers
+    transport errors (:class:`repro.errors.ServiceConnectionError`) and the
+    retryable ``statuses`` (back-pressure and unavailability — requests
+    against this service are deterministic, so replaying one is safe).
+    Delays grow exponentially from ``backoff`` up to ``max_backoff``, with a
+    uniform jitter of up to ``jitter`` of the delay added so synchronised
+    clients do not retry in lockstep; a server ``Retry-After`` hint raises
+    the delay to at least that many seconds.  ``RetryPolicy(retries=0)``
+    disables retrying entirely.  ``seed`` pins the jitter stream (tests).
+    """
+
+    retries: int = 3
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    jitter: float = 0.25
+    statuses: Tuple[int, ...] = (429, 503)
+    seed: Optional[int] = None
+    _random: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ServiceError(f"retries must be non-negative, got {self.retries}")
+        if self.backoff < 0 or self.max_backoff < 0 or self.jitter < 0:
+            raise ServiceError("backoff, max_backoff, and jitter must be non-negative")
+        self._random = random.Random(self.seed)
+
+    def delay(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        base = min(self.backoff * (2 ** attempt), self.max_backoff)
+        if retry_after is not None:
+            base = max(base, retry_after)
+        return base + self._random.uniform(0.0, self.jitter * base)
 
 
 class ServiceClient:
@@ -35,26 +80,97 @@ class ServiceClient:
     :class:`repro.errors.ServiceError` otherwise).  The query helpers
     (:meth:`evaluate`, :meth:`topk`, ...) are thin wrappers over
     :meth:`must` mirroring the HTTP routes one to one.
+
+    ``retry`` defaults to a fresh :class:`RetryPolicy`; pass
+    ``RetryPolicy(retries=0)`` for fail-fast behaviour.  ``sleep`` is the
+    backoff sleeper, injectable so tests assert on delays without waiting.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
 
-    def request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Tuple[int, Dict[str, Any]]:
+    def _once(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """One wire round trip: ``(status, payload, retry_after_seconds)``.
+
+        Every transport defect — refused/reset connection, timeout, a body
+        shorter than its Content-Length, non-JSON garbage from a dying
+        socket — raises :class:`repro.errors.ServiceConnectionError` so
+        callers handle one structured error type, not raw socket internals.
+        """
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             encoded = None if body is None else json.dumps(body).encode("utf-8")
             headers = {"Content-Type": "application/json"} if encoded else {}
-            connection.request(method, path, body=encoded, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            return response.status, json.loads(raw.decode("utf-8")) if raw else {}
+            try:
+                connection.request(method, path, body=encoded, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as error:
+                raise ServiceConnectionError(
+                    f"{method} {path} to {self.host}:{self.port} failed in "
+                    f"transport: {error!r}",
+                    cause=error,
+                ) from error
+            if response.headers.get("Content-Length") is None:
+                # The service always sends Content-Length; a response without
+                # one is the torso of a reply whose connection died mid-send —
+                # http.client would otherwise hand back a truncated (even
+                # empty) body as if it were complete.
+                raise ServiceConnectionError(
+                    f"{method} {path} response carries no Content-Length — "
+                    f"the connection dropped mid-response"
+                )
+            retry_after: Optional[float] = None
+            header = response.headers.get("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None  # HTTP-date form: let backoff decide
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ServiceConnectionError(
+                    f"{method} {path} returned a truncated or non-JSON body "
+                    f"({len(raw)} byte(s)): {error}",
+                    cause=error,
+                ) from error
+            return response.status, payload, retry_after
         finally:
             connection.close()
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                status, payload, retry_after = self._once(method, path, body)
+            except ServiceConnectionError:
+                if attempt >= policy.retries:
+                    raise
+                self._sleep(policy.delay(attempt))
+                attempt += 1
+                continue
+            if status in policy.statuses and attempt < policy.retries:
+                self._sleep(policy.delay(attempt, retry_after))
+                attempt += 1
+                continue
+            return status, payload
 
     def must(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None

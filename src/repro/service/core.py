@@ -46,16 +46,26 @@ queries arrive as SQL text parsed by :func:`repro.query.parser.parse_query`.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
+import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.errors import PlanningError, ServiceError, ServiceOverloadedError
+from repro.deadline import Deadline
+from repro.errors import (
+    PlanningError,
+    ServiceError,
+    ServiceOverloadedError,
+    SnapshotError,
+)
 from repro.prob.pdb import ProbabilisticDatabase
+from repro.prob.sharedag import SharedDTreeCache
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.parser import parse_query
+from repro.service.snapshot import read_snapshot, write_snapshot
 from repro.sprout.engine import EvaluationResult, SproutEngine
 from repro.sprout.streaming import StandingQuery
 
@@ -79,12 +89,31 @@ class ServiceConfig:
     each request's shared refinement rounds fan their compute phase across
     N data-parallel lanes — responses stay bit-identical to ``0`` (``None``
     defers to the engine default, i.e. the ``REPRO_LANES`` env var).
+
+    ``default_timeout_ms`` is the wall-clock deadline applied to every
+    decision request (top-k, threshold, subscribe, subscription update)
+    that names no ``timeout_ms`` of its own: an expired request stops
+    refining at the next round boundary and returns HTTP 200 with
+    ``decided: false``, ``degraded: "deadline"``, and the current sound
+    bounds — anytime degradation instead of hogging the lane (``None``
+    disables the default; a request-level ``timeout_ms`` always wins).
+
+    ``snapshot_path``/``snapshot_every`` enable crash recovery: the warm
+    engine cache and every standing subscription are written atomically to
+    ``snapshot_path`` every ``snapshot_every`` completed requests (counted,
+    not timed — deterministic) and once more at :meth:`QueryService.close`;
+    a snapshot found at boot is restored, so a killed-and-restarted server
+    re-decides warm queries in ≤1 step.  A truncated or corrupt snapshot
+    logs a structured warning and boots cold — never crashes.
     """
 
     max_pending: int = 32
     max_steps_ceiling: Optional[int] = None
     default_max_steps: Optional[int] = None
     refine_lanes: Optional[int] = None
+    default_timeout_ms: Optional[float] = None
+    snapshot_path: Optional[str] = None
+    snapshot_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -99,6 +128,16 @@ class ServiceConfig:
             raise PlanningError(
                 f"refine_lanes must be non-negative, got {self.refine_lanes}"
             )
+        if self.default_timeout_ms is not None and self.default_timeout_ms < 0:
+            raise PlanningError(
+                f"default_timeout_ms must be non-negative, got {self.default_timeout_ms}"
+            )
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise PlanningError(
+                f"snapshot_every must be positive, got {self.snapshot_every}"
+            )
+        if self.snapshot_every is not None and self.snapshot_path is None:
+            raise PlanningError("snapshot_every needs a snapshot_path")
 
 
 def result_payload(result: EvaluationResult) -> Dict[str, Any]:
@@ -124,6 +163,9 @@ def result_payload(result: EvaluationResult) -> Dict[str, Any]:
         "tau": result.tau,
         "backend": result.backend,
         "answer_rows": result.answer_rows,
+        # None for full-fidelity answers; "deadline" when a wall-clock budget
+        # stopped refinement early (bounds stay sound — anytime degradation).
+        "degraded": result.degraded,
     }
     if result.bounds:
         payload["bounds"] = sorted(
@@ -206,6 +248,13 @@ class QueryService:
         self.rejected = 0
         self.completed = 0
         self.failed = 0
+        # Crash-recovery bookkeeping: restored flips once at boot; writes and
+        # write failures count every periodic/shutdown snapshot attempt.
+        self.snapshot_restored = False
+        self.snapshot_failed = 0
+        self.snapshots_written = 0
+        self.snapshot_errors = 0
+        self._restore_snapshot()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -235,6 +284,10 @@ class QueryService:
                 self._queue.put(None)  # FIFO: lands behind all admitted jobs
             lane.join(timeout=60)
         self._lane = None
+        if not was_closed:
+            # The lane has drained, so the warm state is quiescent — the
+            # shutdown snapshot captures every completed request's refinement.
+            self._write_snapshot()
         subscriptions, self._subscriptions = dict(self._subscriptions), {}
         for watch in subscriptions.values():
             watch.close()
@@ -304,12 +357,103 @@ class QueryService:
                 job.future.set_exception(error)
             finally:
                 self._executing = False
+            every = self.config.snapshot_every
+            if every is not None and self.completed and self.completed % every == 0:
+                # Periodic checkpoint, counted in completed requests (never
+                # wall time) so when snapshots happen is deterministic too.
+                self._write_snapshot()
 
     def _execute(self, job: _Job) -> Dict[str, Any]:
         handler = getattr(self, "_do_" + job.kind)
         payload = handler(job.params)
         payload["seq"] = job.seq
         return payload
+
+    # -- crash recovery -----------------------------------------------------
+
+    def _snapshot_state(self) -> Dict[str, Any]:
+        """The warm state worth surviving a restart, as one picklable dict."""
+        state: Dict[str, Any] = {
+            "version": 1,
+            "engine_cache": (
+                self.engine.dtree_cache.export_state()
+                if self.engine.shared_lineage
+                else None
+            ),
+            "subscriptions": [
+                (subscription, self._subscriptions[subscription].export_state())
+                for subscription in sorted(self._subscriptions)
+            ],
+            # Preserved so restored ids never collide with post-restart ones.
+            "subscription_seq": self._subscription_seq,
+        }
+        return state
+
+    def _write_snapshot(self) -> None:
+        """Write a snapshot if configured; failures count, never propagate.
+
+        Runs on the refinement lane (periodic) or after the lane has joined
+        (shutdown), so the engine cache and subscriptions are quiescent.
+        """
+        path = self.config.snapshot_path
+        if path is None:
+            return
+        try:
+            write_snapshot(path, self._snapshot_state())
+            self.snapshots_written += 1
+        except SnapshotError as error:
+            # Snapshotting is best-effort durability: a failed write must
+            # never take down a serving lane.  The previous snapshot (if
+            # any) is still intact on disk.
+            self.snapshot_errors += 1
+            warnings.warn(f"service snapshot failed: {error}", RuntimeWarning)
+
+    def _restore_snapshot(self) -> None:
+        """Restore warm state from ``snapshot_path`` at boot, or boot cold.
+
+        Any defect — unreadable file, truncation, checksum mismatch, or a
+        payload this build cannot rehydrate — warns and leaves the service
+        in its cold-boot state; it never crashes the boot.
+        """
+        path = self.config.snapshot_path
+        if path is None or not os.path.exists(path):
+            return
+        try:
+            state = read_snapshot(path)
+        except SnapshotError as error:
+            self.snapshot_failed += 1
+            warnings.warn(
+                f"snapshot ignored, booting cold: {error}", RuntimeWarning
+            )
+            return
+        restored: Dict[str, StandingQuery] = {}
+        try:
+            # Rehydrate everything before committing anything, so a failure
+            # part-way leaves the service exactly in its cold-boot state.
+            cache_state = state.get("engine_cache")
+            new_cache = (
+                SharedDTreeCache.from_state(cache_state)
+                if cache_state is not None and self.engine.shared_lineage
+                else None
+            )
+            for subscription, watch_state in state.get("subscriptions", ()):
+                restored[subscription] = StandingQuery.from_state(watch_state)
+            if new_cache is not None:
+                self.engine.dtree_cache = new_cache
+            self._subscriptions.update(restored)
+            self._subscription_seq = int(state.get("subscription_seq", 0))
+            self.snapshot_restored = True
+        except Exception as error:  # noqa: BLE001 - any defect means boot cold
+            for watch in restored.values():
+                watch.close()
+            self._subscriptions.clear()
+            self._subscription_seq = 0
+            self.snapshot_failed += 1
+            warnings.warn(
+                f"snapshot {path!r} verified but could not be rehydrated, "
+                f"booting cold: {error!r}",
+                RuntimeWarning,
+            )
 
     # -- request plumbing ---------------------------------------------------
 
@@ -338,6 +482,27 @@ class QueryService:
             )
         return max_steps
 
+    def _checked_deadline(self, params: Dict[str, Any]) -> Optional[Deadline]:
+        """The request's wall-clock deadline, started *now* — on the lane.
+
+        The clock starts when execution starts, not at admission: queueing
+        time is the server's problem, the budget covers refinement.  A
+        request-level ``timeout_ms`` overrides the config default;
+        ``timeout_ms: null``/absent falls back to the default (or none).
+        """
+        timeout_ms = params.get("timeout_ms", self.config.default_timeout_ms)
+        if timeout_ms is None:
+            return None
+        if (
+            not isinstance(timeout_ms, (int, float))
+            or isinstance(timeout_ms, bool)
+            or timeout_ms < 0
+        ):
+            raise ServiceError(
+                f"'timeout_ms' must be a non-negative number, got {timeout_ms!r}"
+            )
+        return Deadline.after_ms(float(timeout_ms))
+
     def _checked_confidence(self, params: Dict[str, Any]) -> Optional[str]:
         confidence = params.get("confidence")
         if confidence is not None and confidence not in ("exact", "approx"):
@@ -360,6 +525,13 @@ class QueryService:
 
     def _do_evaluate(self, params: Dict[str, Any]) -> Dict[str, Any]:
         query = self._parse_sql(params)
+        if params.get("timeout_ms") is not None:
+            # evaluate is epsilon-budgeted, not decision-scheduled: it has no
+            # round boundaries to stop at, so a deadline cannot apply cleanly.
+            raise ServiceError(
+                "'timeout_ms' applies to decision requests "
+                "(topk/threshold/subscribe), not 'evaluate'"
+            )
         result = self.engine.evaluate(
             query,
             plan=params.get("plan", "lazy"),
@@ -384,6 +556,7 @@ class QueryService:
             confidence=self._checked_confidence(params),
             max_steps=self._checked_max_steps(params),
             workers=0,
+            deadline=self._checked_deadline(params),
         )
         payload = result_payload(result)
         payload["kind"] = "topk"
@@ -401,6 +574,7 @@ class QueryService:
             confidence=self._checked_confidence(params),
             max_steps=self._checked_max_steps(params),
             workers=0,
+            deadline=self._checked_deadline(params),
         )
         payload = result_payload(result)
         payload["kind"] = "threshold"
@@ -415,6 +589,9 @@ class QueryService:
         kwargs: Dict[str, Any] = {
             "confidence": self._checked_confidence(params),
             "max_steps": self._checked_max_steps(params),
+            # Bounds only the subscription's *initial* decision; later
+            # refreshes budget per-request (subscription_update).
+            "deadline": self._checked_deadline(params),
         }
         if k is not None:
             if not isinstance(k, int) or isinstance(k, bool) or k < 1:
@@ -476,7 +653,7 @@ class QueryService:
             raise ServiceError(f"'probability' must be a number, got {probability!r}")
         report = watch.update_probability(variable, float(probability))
         if params.get("refresh", True):
-            watch.refresh()
+            watch.refresh(self._checked_deadline(params))
         payload = self._subscription_payload(subscription, watch, kind="update")
         payload["report"] = (
             None
@@ -515,6 +692,13 @@ class QueryService:
             "subscriptions": len(self._subscriptions),
             "refine_lanes": self.engine.refine_lanes,
             "cache": self.engine.cache_stats(),
+            "snapshot": {
+                "path": self.config.snapshot_path,
+                "restored": self.snapshot_restored,
+                "failed": self.snapshot_failed,
+                "written": self.snapshots_written,
+                "errors": self.snapshot_errors,
+            },
         }
         if self.engine.shared_lineage and not getattr(self.engine, "_closed", False):
             store = self.engine.dtree_cache.store

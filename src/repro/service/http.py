@@ -35,7 +35,8 @@ import json
 import threading
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ReproError, ServiceError, ServiceOverloadedError
+from repro.errors import InjectedFault, ReproError, ServiceError, ServiceOverloadedError
+from repro.faults import fault_point
 
 from .core import QueryService
 
@@ -53,6 +54,9 @@ async def _read_request(
     reader: "asyncio.StreamReader",
 ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
     """One HTTP request as ``(method, path, headers, body)``; None at EOF."""
+    # Fault seam: an injected failure here behaves exactly like a client
+    # whose socket died mid-request — the connection handler drops it.
+    fault_point("http.read")
     try:
         request_line = await reader.readline()
     except (ConnectionError, asyncio.IncompleteReadError):
@@ -98,10 +102,14 @@ def _response(status: int, payload: Dict[str, Any], keep_alive: bool) -> bytes:
               405: "Method Not Allowed", 429: "Too Many Requests",
               500: "Internal Server Error"}.get(status, "OK")
     body = json.dumps(payload).encode("utf-8")
+    # 429 carries Retry-After so well-behaved clients (the bundled
+    # ServiceClient honours it) back off instead of hammering admission.
+    retry_after = "Retry-After: 1\r\n" if status == 429 else ""
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{retry_after}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"\r\n"
     )
@@ -178,6 +186,8 @@ async def _handle_connection(
                 return
     except (ConnectionError, asyncio.IncompleteReadError):
         return  # client went away mid-request
+    except InjectedFault:
+        return  # scripted connection drop (the http.read fault seam)
     finally:
         try:
             writer.close()

@@ -68,6 +68,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import env_flag, env_int
+from repro.deadline import Deadline
 from repro.errors import (
     ApproximationBudgetError,
     NonHierarchicalQueryError,
@@ -100,7 +101,8 @@ from repro.sprout.onescan import columnar_lineage, sort_column_order
 from repro.sprout.parallel import (
     ConfidenceExecutor,
     ParallelRefinementScheduler,
-    RefinementLanePool,
+    SupervisedExecutor,
+    SupervisedLanePool,
     compute_confidences,
     finish_exact,
     run_shared_scheduled,
@@ -205,6 +207,11 @@ class EvaluationResult:
     #: Numeric backend of the refinement core for this evaluation ("numpy"
     #: when vectorized passes were active, "python" otherwise).
     backend: str = "python"
+    #: ``None`` for a full-fidelity answer; ``"deadline"`` when a wall-clock
+    #: deadline stopped refinement early (anytime degradation: ``bounds`` are
+    #: still sound, ``decided`` may be False, and only the stopping point —
+    #: never the refinement trajectory — depended on the clock).
+    degraded: Optional[str] = None
 
     @property
     def total_seconds(self) -> float:
@@ -462,7 +469,7 @@ class SproutEngine:
         self.refine_lanes = refine_lanes
         #: Lazily created engine-lifetime lane pool (``refine_lanes >= 1``);
         #: threads cost nothing until the first shared round asks for them.
-        self._lane_pool: Optional[RefinementLanePool] = None
+        self._lane_pool: Optional[SupervisedLanePool] = None
         self._executors: Dict[int, ConfidenceExecutor] = {}
         #: Lifecycle flag plus the cache-counter snapshot taken at close():
         #: a closed engine answers :meth:`cache_stats` from the snapshot
@@ -474,10 +481,18 @@ class SproutEngine:
     # -- parallel executor lifecycle --------------------------------------------
 
     def _executor_for(self, workers: int) -> ConfidenceExecutor:
-        """The (lazily created, reused) executor backing ``workers`` processes."""
+        """The (lazily created, reused) executor backing ``workers`` processes.
+
+        Process-backed executors come supervised: a dead pool is respawned
+        with capped retries and ultimately degrades to the serial backend —
+        bit-identical results by contract, with the events counted in
+        :meth:`cache_stats` (``pool_respawns`` / ``pool_fallbacks``).
+        """
         executor = self._executors.get(workers)
         if executor is None:
-            executor = ConfidenceExecutor.create(workers)
+            executor = (
+                SupervisedExecutor(workers) if workers >= 1 else ConfidenceExecutor.create(0)
+            )
             self._executors[workers] = executor
         return executor
 
@@ -488,12 +503,16 @@ class SproutEngine:
             raise PlanningError(f"workers must be non-negative, got {workers}")
         return workers
 
-    def _lane_pool_for_rounds(self) -> Optional[RefinementLanePool]:
-        """The engine-lifetime lane pool, or ``None`` with ``refine_lanes=0``."""
+    def _lane_pool_for_rounds(self) -> Optional[SupervisedLanePool]:
+        """The engine-lifetime lane pool, or ``None`` with ``refine_lanes=0``.
+
+        Supervised: a broken pool is respawned with capped retries and then
+        degrades to inline (lanes=0) compute — same results by contract.
+        """
         if self.refine_lanes < 1:
             return None
         if self._lane_pool is None:
-            self._lane_pool = RefinementLanePool(self.refine_lanes)
+            self._lane_pool = SupervisedLanePool(self.refine_lanes)
         return self._lane_pool
 
     def close(self) -> None:
@@ -536,6 +555,13 @@ class SproutEngine:
             self._closed_stats = None
 
     def _live_cache_stats(self) -> Dict[str, object]:
+        respawns = fallbacks = 0
+        if self._lane_pool is not None:
+            respawns += self._lane_pool.respawns
+            fallbacks += self._lane_pool.fallbacks
+        for executor in self._executors.values():
+            respawns += getattr(executor, "respawns", 0)
+            fallbacks += getattr(executor, "fallbacks", 0)
         return {
             "hits": self.dtree_cache.hits,
             "misses": self.dtree_cache.misses,
@@ -543,6 +569,10 @@ class SproutEngine:
             "entries": len(self.dtree_cache),
             "shared_lineage": self.shared_lineage,
             "backend": self.backend,
+            # Supervision counters: pools (lanes or workers) replaced after a
+            # failure, and rounds/batches that degraded to the serial backend.
+            "pool_respawns": respawns,
+            "pool_fallbacks": fallbacks,
         }
 
     def cache_stats(self) -> Dict[str, object]:
@@ -768,6 +798,7 @@ class SproutEngine:
         confidence: Optional[str] = None,
         max_steps: Optional[int] = None,
         workers: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> EvaluationResult:
         """The ``k`` most probable answer tuples of ``query``.
 
@@ -798,6 +829,15 @@ class SproutEngine:
         Raises :class:`repro.errors.PlanningError` for invalid parameters
         and :class:`repro.errors.ApproximationBudgetError` when exact-mode
         finishing exhausts the engine-default step cap.
+
+        ``deadline`` (a :class:`repro.deadline.Deadline`) bounds the
+        wall-clock spent on the serial scheduler route: checked between
+        refinement rounds, never inside one, so expiry returns the current
+        sound bounds with ``decided=False`` / ``degraded="deadline"``
+        instead of raising — anytime degradation, the paper's central
+        contract put to work.  Only honoured with ``workers=0`` (the route
+        the query service runs); the parallel route ships the whole decision
+        to a worker and ignores it.
         """
         if k < 1:
             raise PlanningError(f"k must be positive, got {k}")
@@ -813,6 +853,7 @@ class SproutEngine:
             confidence=confidence,
             max_steps=max_steps,
             workers=workers,
+            deadline=deadline,
         )
 
     def evaluate_threshold(
@@ -827,6 +868,7 @@ class SproutEngine:
         confidence: Optional[str] = None,
         max_steps: Optional[int] = None,
         workers: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> EvaluationResult:
         """The answer tuples whose confidence is at least ``tau``.
 
@@ -834,6 +876,8 @@ class SproutEngine:
         tractable queries, a refinement scheduler otherwise (serial at
         ``workers=0``, round-based parallel at ``workers >= 1``) — each
         candidate is refined only until its bracket clears τ on one side.
+        ``deadline`` degrades the serial route exactly as in
+        :meth:`evaluate_topk`.
         """
         if not 0.0 <= tau <= 1.0:
             raise PlanningError(f"tau must be within [0, 1], got {tau}")
@@ -849,6 +893,7 @@ class SproutEngine:
             confidence=confidence,
             max_steps=max_steps,
             workers=workers,
+            deadline=deadline,
         )
 
     # -- standing (streaming) queries ----------------------------------------------
@@ -861,6 +906,7 @@ class SproutEngine:
         execution: Optional[str] = None,
         confidence: Optional[str] = None,
         max_steps: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ):
         """A live top-k answer set for ``query``: a
         :class:`repro.sprout.streaming.StandingQuery`.
@@ -880,7 +926,9 @@ class SproutEngine:
         """
         if k < 1:
             raise PlanningError(f"k must be positive, got {k}")
-        return self._watch(query, k, None, join_order, execution, confidence, max_steps)
+        return self._watch(
+            query, k, None, join_order, execution, confidence, max_steps, deadline
+        )
 
     def watch_threshold(
         self,
@@ -890,11 +938,14 @@ class SproutEngine:
         execution: Optional[str] = None,
         confidence: Optional[str] = None,
         max_steps: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ):
         """A live τ-threshold answer set for ``query`` (see :meth:`watch_topk`)."""
         if not 0.0 <= tau <= 1.0:
             raise PlanningError(f"tau must be within [0, 1], got {tau}")
-        return self._watch(query, None, tau, join_order, execution, confidence, max_steps)
+        return self._watch(
+            query, None, tau, join_order, execution, confidence, max_steps, deadline
+        )
 
     def _watch(
         self,
@@ -905,6 +956,7 @@ class SproutEngine:
         execution: Optional[str],
         confidence: Optional[str],
         max_steps: Optional[int],
+        deadline: Optional[Deadline] = None,
     ):
         from repro.sprout.streaming import StandingQuery
 
@@ -929,6 +981,7 @@ class SproutEngine:
             schema=answer.schema,
             name=query.name,
             execution=execution,
+            deadline=deadline,
         )
 
     def _evaluate_bounded(
@@ -944,6 +997,7 @@ class SproutEngine:
         confidence: Optional[str],
         max_steps: Optional[int],
         workers: Optional[int],
+        deadline: Optional[Deadline] = None,
     ) -> EvaluationResult:
         self._reopen()
         execution, confidence, _ = self._resolve_modes(
@@ -967,7 +1021,8 @@ class SproutEngine:
             )
             return self._select_from_exact(result, k, tau)
         return self._evaluate_scheduled(
-            query, k, tau, join_order, execution, confidence, max_steps, workers
+            query, k, tau, join_order, execution, confidence, max_steps, workers,
+            deadline,
         )
 
     def _select_from_exact(
@@ -1000,13 +1055,15 @@ class SproutEngine:
         confidence: str,
         max_steps: Optional[int],
         workers: int,
+        deadline: Optional[Deadline] = None,
     ) -> EvaluationResult:
         """Multi-tuple bound-driven refinement over the lineage d-trees.
 
         ``workers=0`` runs the serial crossing-pair scheduler on live trees
         from the engine's d-tree cache; ``workers >= 1`` runs the
         deterministic round-based parallel scheduler (the trees live in the
-        workers, the engine tracks bounds).
+        workers, the engine tracks bounds).  ``deadline`` is honoured on the
+        serial route only.
         """
         started = perf_counter()
         answer = self._answer_lineage(query, join_order, execution)
@@ -1015,7 +1072,7 @@ class SproutEngine:
         started = perf_counter()
         if workers == 0:
             outcome, finishing_steps = self._run_serial_scheduler(
-                answer, k, tau, confidence, max_steps
+                answer, k, tau, confidence, max_steps, deadline
             )
         else:
             outcome, finishing_steps = self._run_parallel_scheduler(
@@ -1050,6 +1107,7 @@ class SproutEngine:
             refine_steps=outcome.steps + finishing_steps,
             delta_steps=outcome.steps + finishing_steps,
             backend=self.backend,
+            degraded=outcome.degraded,
         )
 
     def _run_serial_scheduler(
@@ -1059,6 +1117,7 @@ class SproutEngine:
         tau: Optional[float],
         confidence: str,
         max_steps: Optional[int],
+        deadline: Optional[Deadline] = None,
     ):
         """The in-process route: live cached trees + bound-driven scheduling.
 
@@ -1090,6 +1149,7 @@ class SproutEngine:
             self.dtree_max_steps,
             store=self.dtree_cache.store if shared else None,
             lane_pool=self._lane_pool_for_rounds() if shared else None,
+            deadline=deadline,
         )
 
     def _run_parallel_scheduler(

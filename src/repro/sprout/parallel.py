@@ -65,10 +65,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import (
     ApproximationBudgetError,
+    InjectedFault,
     ParallelExecutionError,
     PlanningError,
     ProbabilityError,
 )
+from repro.faults import fault_point
 from repro.prob.dtree import (
     DEFAULT_MAX_STEPS,
     ApproxResult,
@@ -99,6 +101,8 @@ __all__ = [
     "ParallelOutcome",
     "ParallelRefinementScheduler",
     "RefinementLanePool",
+    "SupervisedExecutor",
+    "SupervisedLanePool",
     "SharedRunTask",
     "SharedRunOutcome",
     "compute_confidences",
@@ -177,6 +181,69 @@ class RefinementLanePool:
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "RefinementLanePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SupervisedLanePool:
+    """A :class:`RefinementLanePool` under supervision: respawn, then degrade.
+
+    The engine's lane pool is long-lived — threads can die (an injected
+    fault in the chaos battery; interpreter shutdown races in production) and
+    a dead executor would otherwise raise out of every subsequent decision.
+    Supervision exploits the PR 9 contract: the compute phase a pool runs is
+    *pure* (cofactors only, no table mutation) and the round plan is frozen
+    before any lane runs, so a failed ``map`` can simply be retried — on a
+    fresh pool after a respawn, or inline on the calling thread after the
+    respawn budget is spent — and the results are bit-identical either way.
+
+    ``respawns`` counts pools replaced; ``fallbacks`` counts rounds computed
+    inline because the pool was declared broken.  Both surface through
+    ``SproutEngine.cache_stats()`` and the service's ``/stats``.
+    """
+
+    def __init__(self, lanes: int, max_respawns: int = 2):
+        self.lanes = lanes
+        self.max_respawns = max_respawns
+        self._pool: Optional[RefinementLanePool] = RefinementLanePool(lanes)
+        self._broken = False
+        self.respawns = 0
+        self.fallbacks = 0
+
+    def map(self, fn, items: Sequence) -> List:
+        if self._broken or self._pool is None:
+            self.fallbacks += 1
+            return [fn(item) for item in items]
+        while True:
+            try:
+                fault_point("lane_pool.submit")
+                return self._pool.map(fn, items)
+            except Exception:
+                self._discard_pool()
+                if self.respawns >= self.max_respawns:
+                    # Repeatedly broken: degrade to inline (lanes=0) compute
+                    # for the rest of this pool's life.  Same results, by
+                    # contract; only wall-clock changes.
+                    self._broken = True
+                    self.fallbacks += 1
+                    return [fn(item) for item in items]
+                self.respawns += 1
+                self._pool = RefinementLanePool(self.lanes)
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:  # pragma: no cover - defensive teardown
+                pass
+
+    def close(self) -> None:
+        self._discard_pool()
+
+    def __enter__(self) -> "SupervisedLanePool":
         return self
 
     def __exit__(self, *exc) -> None:
@@ -714,6 +781,58 @@ class ProcessExecutor(ConfidenceExecutor):
             self._pool = None
 
 
+class SupervisedExecutor(ConfidenceExecutor):
+    """A :class:`ProcessExecutor` under supervision: respawn, then go serial.
+
+    :meth:`ProcessExecutor.run` raises :class:`ParallelExecutionError` only
+    when the *pool itself* died (``BrokenProcessPool`` — e.g. a worker was
+    OOM-killed); a task that merely failed inside a healthy worker surfaces
+    later, from the driver, and is never retried here.  That split makes the
+    retry safe: the same task list re-run on a fresh pool — or on the serial
+    executor once the respawn budget is spent — produces bit-identical
+    outcomes, because both backends run the same :func:`execute_task` and
+    per-task Monte Carlo seeds are derived from the lineage, not the pool.
+
+    ``respawns`` counts pool replacements (the inner pool is rebuilt lazily
+    on the next run after a ``close()``); ``fallbacks`` counts batches that
+    ran on the serial backend because the pool was declared broken.
+    """
+
+    def __init__(self, workers: int, max_respawns: int = 2):
+        if workers < 1:
+            raise PlanningError(f"a supervised executor needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self.max_respawns = max_respawns
+        self._inner = ProcessExecutor(workers)
+        self._serial = SerialExecutor()
+        self._broken = False
+        self.respawns = 0
+        self.fallbacks = 0
+
+    def run(self, tasks: Sequence[ConfidenceTask]) -> List[TaskOutcome]:
+        tasks = list(tasks)
+        if self._broken:
+            self.fallbacks += 1
+            return self._serial.run(tasks)
+        while True:
+            try:
+                fault_point("worker_pool.run")
+                return self._inner.run(tasks)
+            except (ParallelExecutionError, InjectedFault):
+                # Pool death (or its scripted stand-in).  Discard the pool —
+                # ProcessExecutor rebuilds lazily — and retry on a fresh one
+                # until the respawn budget runs out, then degrade to serial.
+                self._inner.close()
+                if self.respawns >= self.max_respawns:
+                    self._broken = True
+                    self.fallbacks += 1
+                    return self._serial.run(tasks)
+                self.respawns += 1
+
+    def close(self) -> None:
+        self._inner.close()
+
+
 # ---------------------------------------------------------------------------
 # fan-out/merge driver for plain evaluation
 # ---------------------------------------------------------------------------
@@ -900,6 +1019,9 @@ class ParallelOutcome:
     candidates: List[ParallelCandidate]
     decided: bool
     steps: int = 0
+    #: Always ``None`` here: deadlines are honoured on the serial route only
+    #: (the one the query service runs); kept for a uniform outcome shape.
+    degraded: Optional[str] = None
 
     def bounds(self) -> Dict[DataTuple, Tuple[float, float]]:
         return {c.data: (c.lower, c.upper) for c in self.candidates}

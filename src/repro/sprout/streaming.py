@@ -59,7 +59,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 from repro.errors import PlanningError, ProbabilityError
 from repro.prob.backend import backend_name
 from repro.prob.delta import DeltaReport
-from repro.prob.dtree import DEFAULT_MAX_STEPS, DTreeCache
+from repro.prob.dtree import (
+    DEFAULT_MAX_STEPS,
+    DTreeCache,
+    canonical_clauses,
+    dnf_from_canonical,
+)
 from repro.prob.formulas import DNF
 from repro.prob.lineage import dtrees_from_dnfs, interned_dnf
 from repro.prob.sharedag import DEFAULT_MAX_NODES, SharedDTreeCache
@@ -134,6 +139,7 @@ class StandingQuery:
         schema: Optional[Schema] = None,
         name: str = "standing",
         execution: str = "row",
+        deadline=None,
     ):
         if (k is None) == (tau is None):
             raise PlanningError("a standing query needs exactly one of k or tau")
@@ -184,7 +190,9 @@ class StandingQuery:
         self.result = None
         for data, dnf in lineage.items():
             self._admit(tuple(data), dnf)
-        self.refresh()
+        # The deadline bounds only this initial decision; later refreshes
+        # take their own (or none) — a standing query outlives any request.
+        self.refresh(deadline)
 
     # -- candidate plumbing -------------------------------------------------
 
@@ -193,13 +201,18 @@ class StandingQuery:
         return self._cache.store if self.shared_lineage else None
 
     def _lane_pool_for_rounds(self):
-        """The standing lane pool, or ``None`` (``refine_lanes=0`` / legacy mode)."""
+        """The standing lane pool, or ``None`` (``refine_lanes=0`` / legacy mode).
+
+        Supervised (:class:`repro.sprout.parallel.SupervisedLanePool`): a
+        broken pool respawns with capped retries, then degrades to inline
+        compute — bit-identical results either way.
+        """
         if self.refine_lanes < 1 or not self.shared_lineage:
             return None
         if self._lane_pool is None:
-            from repro.sprout.parallel import RefinementLanePool
+            from repro.sprout.parallel import SupervisedLanePool
 
-            self._lane_pool = RefinementLanePool(self.refine_lanes)
+            self._lane_pool = SupervisedLanePool(self.refine_lanes)
         return self._lane_pool
 
     def close(self) -> None:
@@ -347,7 +360,7 @@ class StandingQuery:
         }
         self._stale_probabilities = False
 
-    def refresh(self):
+    def refresh(self, deadline=None):
         """Re-decide the answer set against the current (post-delta) state.
 
         Runs the engine's own decision routine
@@ -357,6 +370,12 @@ class StandingQuery:
         :class:`~repro.sprout.engine.EvaluationResult` whose
         ``delta_steps`` is the logical steps this refresh spent and whose
         ``refine_steps`` is the standing query's cumulative total.
+
+        ``deadline`` (a :class:`repro.deadline.Deadline`) degrades the
+        refresh at round boundaries exactly like the one-shot engine routes:
+        expiry stops refining, the result reports ``decided=False`` with
+        ``degraded="deadline"`` and the current sound bounds, and the next
+        refresh simply resumes from where this one stopped.
         """
         from repro.sprout.engine import EvaluationResult
 
@@ -372,6 +391,7 @@ class StandingQuery:
             self.default_cap,
             store=self._store,
             lane_pool=self._lane_pool_for_rounds(),
+            deadline=deadline,
         )
         delta_steps = outcome.steps + finishing_steps
         self.delta_steps = delta_steps
@@ -404,8 +424,108 @@ class StandingQuery:
             refine_steps=self.total_steps,
             delta_steps=delta_steps,
             backend=self._backend(),
+            degraded=outcome.degraded,
         )
         return self.result
+
+    # -- crash-recoverable snapshots -----------------------------------------
+
+    def export_state(self) -> dict:
+        """The standing query's full state as a picklable dict.
+
+        Shared mode exports the private cache (store segment + views, see
+        :meth:`repro.prob.sharedag.SharedDTreeCache.export_state`) plus each
+        candidate's root nid, so :meth:`from_state` restores a *warm*
+        standing query whose next refresh re-confirms the decided set in
+        0–few steps.  Legacy mode exports only the lineage and marginals —
+        per-tuple object trees do not ship — and restores cold.
+        """
+        state = {
+            "k": self.k,
+            "tau": self.tau,
+            "confidence": self.confidence,
+            "max_steps": self.max_steps,
+            "default_cap": self.default_cap,
+            "shared_lineage": self.shared_lineage,
+            "cache_nodes": self._cache_nodes,
+            "refine_lanes": self.refine_lanes,
+            "schema": self._schema,
+            "name": self.name,
+            "execution": self._execution,
+            "probabilities": dict(self.probabilities),
+            "lineage": [
+                (data, canonical_clauses(dnf)) for data, dnf in self.lineage.items()
+            ],
+            "selected": list(self.selected),
+            "decided": self.decided,
+            "total_steps": self.total_steps,
+        }
+        if self.shared_lineage:
+            state["cache"] = self._cache.export_state()
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StandingQuery":
+        """Rebuild a standing query from :meth:`export_state`.
+
+        Shared mode restores the warm store and re-admits every candidate
+        through the cache — each admit is a view-table hit on the restored
+        (possibly already closed) bounds — then runs one refresh to
+        re-establish ``result``; on a snapshot of a decided query that
+        refresh costs 0–few logical steps.  ``last_entered``/``last_left``
+        track against the snapshotted selection, so an unchanged decided
+        set reports no transitions across the restart.  Legacy mode falls
+        back to the cold constructor (per-tuple trees are not shippable).
+        """
+        lineage = {
+            tuple(data): dnf_from_canonical(clauses)
+            for data, clauses in state["lineage"]
+        }
+        common = dict(
+            k=state["k"],
+            tau=state["tau"],
+            confidence=state["confidence"],
+            max_steps=state["max_steps"],
+            default_cap=state["default_cap"],
+            cache_nodes=state["cache_nodes"],
+            refine_lanes=state["refine_lanes"],
+            schema=state["schema"],
+            name=state["name"],
+            execution=state["execution"],
+        )
+        if not state["shared_lineage"]:
+            return cls(
+                lineage, state["probabilities"], shared_lineage=False, **common
+            )
+        query = object.__new__(cls)
+        query.k = common["k"]
+        query.tau = common["tau"]
+        query.confidence = common["confidence"]
+        query.max_steps = common["max_steps"]
+        query.default_cap = common["default_cap"]
+        query.shared_lineage = True
+        query.name = common["name"]
+        query._schema = common["schema"]
+        query._execution = common["execution"]
+        query._cache = SharedDTreeCache.from_state(state["cache"])
+        query._cache_nodes = common["cache_nodes"]
+        query.refine_lanes = common["refine_lanes"]
+        query._lane_pool = None
+        query.probabilities = dict(state["probabilities"])
+        query.lineage = {}
+        query._candidates = {}
+        query._stale_probabilities = False
+        query.selected = [tuple(data) for data in state["selected"]]
+        query.decided = state["decided"]
+        query.last_entered = []
+        query.last_left = []
+        query.total_steps = state["total_steps"]
+        query.delta_steps = 0
+        query.result = None
+        for data, dnf in lineage.items():
+            query._admit(data, dnf)
+        query.refresh()
+        return query
 
     def _relation(self, items) -> Relation:
         if self._schema is not None:

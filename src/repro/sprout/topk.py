@@ -51,6 +51,8 @@ from dataclasses import dataclass
 from heapq import nlargest
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.deadline import Deadline
+from repro.deadline import expired as _deadline_expired
 from repro.errors import ApproximationBudgetError, PlanningError
 from repro.prob.dtree import DTree, refine_to_budget
 from repro.prob.sharedag import SharedDTree, SharedLineageStore
@@ -142,11 +144,16 @@ class SchedulerOutcome:
     selected: List[TupleCandidate]
     #: Every candidate, selected or not, with its final bracket.
     candidates: List[TupleCandidate]
-    #: True when the answer set is provably correct; False only when the
-    #: ``max_steps`` budget ran out first.
+    #: True when the answer set is provably correct; False when the
+    #: ``max_steps`` budget or a wall-clock deadline ran out first.
     decided: bool
     #: Total d-tree expansions spent by the scheduler.
     steps: int = 0
+    #: ``None`` for a full-fidelity answer; ``"deadline"`` when refinement
+    #: stopped at a wall-clock deadline (anytime degradation: the bounds are
+    #: still sound, only the stopping point moved).  Budget exhaustion keeps
+    #: ``None`` — it is step-metered and therefore deterministic.
+    degraded: Optional[str] = None
 
     def bounds(self) -> Dict[DataTuple, Tuple[float, float]]:
         return {c.data: (c.lower, c.upper) for c in self.candidates}
@@ -185,6 +192,13 @@ class RefinementScheduler:
         the round *schedule* is planned before any lane runs, so outcomes
         are bit-identical with and without a pool.  Ignored when ``store``
         is ``None``.
+    deadline
+        Optional wall-clock :class:`repro.deadline.Deadline`, checked at the
+        top of each decision loop and between shared refinement rounds —
+        never inside a round, so the refinement *trajectory* stays the
+        deterministic one and only the stopping point along it depends on
+        the clock.  Expiry yields ``decided=False`` with
+        ``degraded="deadline"`` and the current sound bounds.
 
     :meth:`run_topk` and :meth:`run_threshold` return a
     :class:`SchedulerOutcome`; both raise
@@ -201,6 +215,7 @@ class RefinementScheduler:
         max_steps: Optional[int] = None,
         store: Optional[SharedLineageStore] = None,
         lane_pool: Optional[object] = None,
+        deadline: Optional[Deadline] = None,
     ):
         if chunk < 1:
             raise PlanningError(f"chunk must be positive, got {chunk}")
@@ -211,6 +226,7 @@ class RefinementScheduler:
         self.max_steps = max_steps
         self.store = store
         self.lane_pool = lane_pool
+        self.deadline = deadline
         self.steps = 0
         # Rank tiebreak on the data tuple's repr, precomputed once as a
         # numeric index: candidate *order* differs between the row and batch
@@ -252,8 +268,13 @@ class RefinementScheduler:
             budget = min(budget, self.max_steps - self.steps)
         performed = 0
         while performed < budget:
+            # Deadline check sits *between* rounds: a round is the atomic
+            # unit of the bit-identity contract, so the clock only picks a
+            # stopping point along the deterministic trajectory.
+            if _deadline_expired(self.deadline):
+                break
             advanced = self.store.refine_round(
-                views, budget - performed, self.lane_pool
+                views, budget - performed, self.lane_pool, self.deadline
             )
             if advanced == 0:
                 break
@@ -264,7 +285,12 @@ class RefinementScheduler:
     def _exhausted(self) -> bool:
         return self.max_steps is not None and self.steps >= self.max_steps
 
-    def _outcome(self, selected: List[TupleCandidate], decided: bool) -> SchedulerOutcome:
+    def _outcome(
+        self,
+        selected: List[TupleCandidate],
+        decided: bool,
+        degraded: Optional[str] = None,
+    ) -> SchedulerOutcome:
         ordered = sorted(
             selected, key=lambda c: (-c.midpoint, repr(c.data))
         )
@@ -273,7 +299,11 @@ class RefinementScheduler:
             candidates=list(self.candidates),
             decided=decided,
             steps=self.steps,
+            degraded=degraded,
         )
+
+    def _expired(self) -> bool:
+        return _deadline_expired(self.deadline)
 
     # -- top-k --------------------------------------------------------------
 
@@ -305,6 +335,8 @@ class RefinementScheduler:
             strongest = max(rest, key=lambda c: (c.upper, -rank[id(c)]))
             if weakest.lower >= strongest.upper:
                 return self._outcome(selected, True)
+            if self._expired():
+                return self._outcome(selected, False, degraded="deadline")
             if self._exhausted():
                 return self._outcome(selected, False)
             if self.store is not None:
@@ -318,6 +350,8 @@ class RefinementScheduler:
                     c for c in rest if not c.exact and c.upper > weakest.lower
                 ]
                 if not gating or self._grant_shared(gating) == 0:
+                    if self._expired():
+                        return self._outcome(selected, False, degraded="deadline")
                     # Nothing refinable gates the decision: bail rather than spin.
                     return self._outcome(selected, False)
                 continue
@@ -348,12 +382,17 @@ class RefinementScheduler:
             if not straddling:
                 selected = [c for c in self.candidates if c.lower >= tau]
                 return self._outcome(selected, True)
+            if self._expired():
+                selected = [c for c in self.candidates if c.lower >= tau]
+                return self._outcome(selected, False, degraded="deadline")
             if self._exhausted():
                 selected = [c for c in self.candidates if c.lower >= tau]
                 return self._outcome(selected, False)
             if self.store is not None:
                 if self._grant_shared(straddling) == 0:
                     selected = [c for c in self.candidates if c.lower >= tau]
+                    if self._expired():
+                        return self._outcome(selected, False, degraded="deadline")
                     return self._outcome(selected, False)
                 continue
             self._grant(max(straddling, key=lambda c: c.gap))
@@ -368,6 +407,7 @@ def run_decision(
     default_cap: Optional[int],
     store: Optional[SharedLineageStore] = None,
     lane_pool: Optional[object] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[SchedulerOutcome, int]:
     """One complete bound-driven decision: schedule, decide, finish exact.
 
@@ -401,16 +441,23 @@ def run_decision(
     data-parallel lanes (see :class:`RefinementScheduler`); because the
     round schedule is fixed before any lane runs, the returned outcome is
     bit-identical for no pool / 1 lane / N lanes.
+
+    ``deadline`` bounds the wall-clock spent: checked between rounds in the
+    scheduler and between candidates in exact finishing, expiry returns the
+    current sound bounds with ``decided=False`` / ``degraded="deadline"``
+    instead of raising (anytime degradation).
     """
     if not candidates:
         return SchedulerOutcome(selected=[], candidates=[], decided=True, steps=0), 0
     if store is None:
         return _run_decision_unpinned(
-            candidates, k, tau, confidence, max_steps, default_cap, store, lane_pool
+            candidates, k, tau, confidence, max_steps, default_cap, store,
+            lane_pool, deadline,
         )
     with store.pinned():
         return _run_decision_unpinned(
-            candidates, k, tau, confidence, max_steps, default_cap, store, lane_pool
+            candidates, k, tau, confidence, max_steps, default_cap, store,
+            lane_pool, deadline,
         )
 
 
@@ -423,17 +470,29 @@ def _run_decision_unpinned(
     default_cap: Optional[int],
     store: Optional[SharedLineageStore],
     lane_pool: Optional[object] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Tuple[SchedulerOutcome, int]:
     scheduler = RefinementScheduler(
         candidates,
         max_steps=default_cap if max_steps is None else max_steps,
         store=store,
         lane_pool=lane_pool,
+        deadline=deadline,
     )
     outcome = scheduler.run_topk(k) if k is not None else scheduler.run_threshold(tau)
     finishing_steps = finish_selected(
-        outcome.selected, confidence, max_steps, outcome.steps, default_cap
+        outcome.selected, confidence, max_steps, outcome.steps, default_cap,
+        deadline=deadline,
     )
+    if (
+        confidence == "exact"
+        and outcome.degraded is None
+        and _deadline_expired(deadline)
+        and any(not c.exact for c in outcome.selected)
+    ):
+        # Exact finishing hit the deadline: the decision stands but some
+        # reported confidences are still brackets, so the payload must say so.
+        outcome.degraded = "deadline"
     return outcome, finishing_steps
 
 
@@ -443,6 +502,7 @@ def finish_selected(
     max_steps: Optional[int],
     spent_steps: int,
     default_cap: Optional[int],
+    deadline: Optional[Deadline] = None,
 ) -> int:
     """Exact-mode finishing: refine each selected candidate to closure.
 
@@ -456,6 +516,11 @@ def finish_selected(
     explicit ``max_steps`` shares the leftover after the ``spent_steps``
     already charged, sequentially across tuples, and is reported, never
     raised.  Returns the expansions performed; a no-op outside exact mode.
+
+    ``deadline`` is honoured between candidates (never inside one tuple's
+    closure run would be wrong — closure is not round-structured, so the
+    boundary here is the candidate): expiry stops finishing early and the
+    caller reports ``degraded="deadline"`` for the still-bracketed tuples.
     """
     if confidence != "exact":
         return 0
@@ -464,6 +529,8 @@ def finish_selected(
     for candidate in selected:
         if candidate.tree is None or candidate.exact:
             continue
+        if _deadline_expired(deadline):
+            break
         if finishing_budget is None:
             remaining = default_cap
         else:

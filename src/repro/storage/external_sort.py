@@ -14,12 +14,22 @@ import heapq
 import json
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageCorruptionError
 
 __all__ = ["SortStats", "external_sort", "sort_key_for"]
 
 Row = Tuple[object, ...]
+
+#: Run-file framing: a ``#R <rows>`` header, then one ``<crc32hex> <json>``
+#: line per row.  The per-row CRC catches corruption, the header row count
+#: catches truncation (a run that ends early raises
+#: :class:`repro.errors.StorageCorruptionError` instead of silently merging
+#: fewer rows — a wrong sort result with no error is the worst failure mode).
+_RUN_MARKER = "#R"
 
 
 @dataclass
@@ -79,9 +89,11 @@ def external_sort(
         buffer_rows.sort(key=key)
         fd, path = tempfile.mkstemp(prefix="repro_sort_run_", suffix=".jsonl")
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(f"{_RUN_MARKER} {len(buffer_rows)}\n")
             for row in buffer_rows:
-                handle.write(json.dumps(list(row), default=str))
-                handle.write("\n")
+                encoded = json.dumps(list(row), default=str)
+                checksum = zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF
+                handle.write(f"{checksum:08x} {encoded}\n")
         run_paths.append(path)
         stats.runs_spilled += 1
         stats.rows_spilled += len(buffer_rows)
@@ -114,9 +126,55 @@ def external_sort(
 
 
 def _read_run(path: str) -> Iterator[Row]:
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            yield tuple(json.loads(line))
+    """Replay one spilled run, verifying framing, checksums, and row count.
+
+    Reads in binary so damaged bytes reach the CRC check instead of dying
+    in the text-mode UTF-8 decoder with a bare ``UnicodeDecodeError``.
+    """
+    with open(path, "rb") as handle:
+        header = handle.readline()
+        fields = header.decode("utf-8", "replace").split()
+        if len(fields) != 2 or fields[0] != _RUN_MARKER or not fields[1].isdigit():
+            raise StorageCorruptionError(
+                f"sort run {path!r} has a missing or garbled header {header!r}"
+            )
+        expected = int(fields[1])
+        seen = 0
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                # A complete run ends every row with a newline; a bare tail
+                # could still pass its CRC (cut exactly at the terminator).
+                raise StorageCorruptionError(
+                    f"sort run {path!r}, row {seen} is missing its terminator "
+                    f"— the file was truncated"
+                )
+            checksum_bytes, _, encoded = raw.rstrip(b"\n").partition(b" ")
+            try:
+                checksum = int(checksum_bytes.decode("ascii", "replace"), 16)
+            except ValueError:
+                raise StorageCorruptionError(
+                    f"sort run {path!r}, row {seen}: garbled checksum prefix "
+                    f"{checksum_bytes!r}"
+                ) from None
+            if zlib.crc32(encoded) & 0xFFFFFFFF != checksum:
+                raise StorageCorruptionError(
+                    f"sort run {path!r}, row {seen} failed its CRC-32 checksum"
+                )
+            try:
+                row = json.loads(encoded.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                # pragma: no cover - the CRC catches damage first
+                raise StorageCorruptionError(
+                    f"sort run {path!r}, row {seen} passed its checksum but is "
+                    f"not JSON: {error}"
+                ) from error
+            seen += 1
+            yield tuple(row)
+        if seen != expected:
+            raise StorageCorruptionError(
+                f"sort run {path!r} is truncated: header promises {expected} "
+                f"row(s), file holds {seen}"
+            )
 
 
 def _merge_runs(run_paths: List[str], key: Callable[[Row], Tuple]) -> Iterator[Row]:

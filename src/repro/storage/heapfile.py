@@ -15,15 +15,23 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import StorageError
+from repro.errors import StorageCorruptionError, StorageError
 from repro.storage.schema import Schema
 
 __all__ = ["PageStats", "HeapFile"]
 
 DEFAULT_PAGE_SIZE = 8192
+
+#: Per-page header: ``#P <tuple_count> <payload_bytes> <crc32hex>``.  The
+#: length lets the reader detect truncation (a short read is an error, not a
+#: short page) and the CRC detects in-place corruption — both surface as
+#: :class:`repro.errors.StorageCorruptionError` instead of a silent short scan
+#: or a bare ``json.JSONDecodeError``.
+_PAGE_MARKER = "#P"
 
 
 @dataclass
@@ -99,27 +107,75 @@ class HeapFile:
 
     def _flush_page(self, handle, buffer: List[str], offset: int) -> int:
         payload = "\n".join(buffer) + "\n"
+        encoded = payload.encode("utf-8")
+        checksum = zlib.crc32(encoded) & 0xFFFFFFFF
+        header = f"{_PAGE_MARKER} {len(buffer)} {len(encoded)} {checksum:08x}\n"
+        handle.write(header)
         handle.write(payload)
         self._page_offsets.append(offset)
         self._page_tuple_counts.append(len(buffer))
         self.stats.pages_written += 1
-        return offset + len(payload.encode("utf-8"))
+        return offset + len(header) + len(encoded)  # header is pure ASCII
 
     # -- reading ----------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[object, ...]]:
-        """Sequentially scan all pages, yielding rows as tuples."""
+        """Sequentially scan all pages, yielding rows as tuples.
+
+        Every page is verified before any of its rows are yielded: header
+        shape, exact payload length, CRC-32, and row count.  Any mismatch
+        raises :class:`repro.errors.StorageCorruptionError` naming the page
+        — never a silent short result, never a bare decode error.
+        """
         self._check_open()
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(self.path, "rb") as handle:
             for offset, tuple_count in zip(self._page_offsets, self._page_tuple_counts):
                 handle.seek(offset)
                 self.stats.pages_read += 1
-                for _ in range(tuple_count):
-                    line = handle.readline()
-                    if not line:
-                        raise StorageError(f"truncated heap file {self.path!r}")
-                    self.stats.tuples_read += 1
-                    yield tuple(json.loads(line))
+                yield from self._read_page(handle, offset, tuple_count)
+
+    def _read_page(self, handle, offset: int, tuple_count: int) -> Iterator[Tuple[object, ...]]:
+        where = f"heap file {self.path!r}, page at offset {offset}"
+        header = handle.readline()
+        fields = header.decode("utf-8", "replace").split()
+        if len(fields) != 4 or fields[0] != _PAGE_MARKER:
+            raise StorageCorruptionError(
+                f"{where} has a missing or garbled header {header!r}"
+            )
+        try:
+            count, length, checksum = int(fields[1]), int(fields[2]), int(fields[3], 16)
+        except ValueError:
+            raise StorageCorruptionError(
+                f"{where} has a non-numeric header {header!r}"
+            ) from None
+        if count != tuple_count:
+            raise StorageCorruptionError(
+                f"{where} holds {count} row(s) but the page directory "
+                f"recorded {tuple_count}"
+            )
+        payload = handle.read(length)
+        if len(payload) != length:
+            raise StorageCorruptionError(
+                f"{where} is truncated: header promises {length} payload "
+                f"byte(s), file holds {len(payload)}"
+            )
+        if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+            raise StorageCorruptionError(f"{where} failed its CRC-32 checksum")
+        lines = payload.decode("utf-8").splitlines()
+        if len(lines) != count:
+            raise StorageCorruptionError(
+                f"{where} decodes to {len(lines)} row(s), header promises {count}"
+            )
+        for line in lines:
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:  # pragma: no cover - CRC catches
+                raise StorageCorruptionError(
+                    f"{where} passed its checksum but holds non-JSON row "
+                    f"{line!r}: {error}"
+                ) from error
+            self.stats.tuples_read += 1
+            yield tuple(row)
 
     # -- metadata ----------------------------------------------------------------
 

@@ -250,6 +250,8 @@ class TestEngineInstrumentation:
                 "shared_lineage": shared,
                 "backend": engine.backend,
                 "closed": False,
+                "pool_respawns": 0,
+                "pool_fallbacks": 0,
             }
             engine.evaluate_topk(query, k=1)
             warmed = engine.cache_stats()

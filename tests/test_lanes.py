@@ -313,9 +313,12 @@ class TestLaneKnobs:
         engine.evaluate_topk(make_query(), k=1, plan="dtree")
         pool = engine._lane_pool
         assert pool is not None
+        inner = pool._pool  # the supervised wrapper's live RefinementLanePool
+        assert inner is not None
         engine.close()
         assert engine._lane_pool is None
-        assert pool._executor._shutdown
+        assert pool._pool is None  # supervision discarded the inner pool...
+        assert inner._executor._shutdown  # ...and its threads are released
 
     def test_explicit_argument_beats_the_env(self, monkeypatch):
         build_db, _ = CORPUS["single"]

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import StorageError
+from repro.errors import StorageCorruptionError, StorageError
 from repro.prob.dtree import canonical_clauses
 from repro.prob.formulas import DNF
 from repro.prob.sharedag import SharedLineageStore
@@ -53,6 +53,64 @@ class TestHeapFile:
         assert not os.path.exists(path)
 
 
+class TestHeapFileCorruption:
+    """Damaged pages must fail loudly, not scan short or leak decode errors.
+
+    PR 10's framing gives every page a ``#P <count> <bytes> <crc32>`` header;
+    these tests damage the file at *every* byte position — truncation at
+    every boundary, a bit flip at every offset — and demand a structured
+    :class:`StorageCorruptionError` each time.  The worst pre-PR behaviours
+    were a silent short scan (truncated tail) and a bare
+    ``json.JSONDecodeError`` (mid-line damage).
+    """
+
+    def _heap(self, tmp_path):
+        heap = HeapFile(
+            Schema.of("a:int", "b:str"),
+            path=str(tmp_path / "heap.jsonl"),
+            page_size=128,
+        )
+        heap.write_rows([(i, f"row{i}") for i in range(40)])
+        assert heap.page_count > 1
+        return heap
+
+    def test_intact_file_still_round_trips(self, tmp_path):
+        heap = self._heap(tmp_path)
+        assert list(heap.scan()) == [(i, f"row{i}") for i in range(40)]
+
+    def test_truncation_at_every_byte_boundary(self, tmp_path):
+        heap = self._heap(tmp_path)
+        blob = open(heap.path, "rb").read()
+        for cut in range(len(blob)):
+            with open(heap.path, "wb") as handle:
+                handle.write(blob[:cut])
+            with pytest.raises(StorageCorruptionError):
+                list(heap.scan())
+        with open(heap.path, "wb") as handle:
+            handle.write(blob)
+        assert len(list(heap.scan())) == 40
+
+    def test_bit_flip_at_every_offset(self, tmp_path):
+        heap = self._heap(tmp_path)
+        blob = open(heap.path, "rb").read()
+        for position in range(len(blob)):
+            flipped = bytes([blob[position] ^ 0xFF])
+            with open(heap.path, "wb") as handle:
+                handle.write(blob[:position] + flipped + blob[position + 1 :])
+            with pytest.raises(StorageCorruptionError):
+                list(heap.scan())
+
+    def test_corruption_is_a_storage_error(self, tmp_path):
+        # Callers catching the existing StorageError keep working.
+        assert issubclass(StorageCorruptionError, StorageError)
+        heap = self._heap(tmp_path)
+        blob = open(heap.path, "rb").read()
+        with open(heap.path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(StorageError):
+            list(heap.scan())
+
+
 class TestExternalSort:
     def test_in_memory_path(self):
         rows = [(3, "c"), (1, "a"), (2, "b")]
@@ -82,6 +140,55 @@ class TestExternalSort:
     def test_matches_builtin_sort(self, rows):
         expected = sorted(rows, key=lambda r: (sort_key_for(r[0]), sort_key_for(r[1])))
         assert list(external_sort(rows, [0, 1], max_rows_in_memory=16)) == expected
+
+
+class TestSortRunCorruption:
+    """Spilled sort runs carry the same loud-failure guarantee as heap pages.
+
+    A run file is ``#R <rows>`` then one ``<crc32hex> <json>`` line per row;
+    replaying a damaged or truncated run raises
+    :class:`StorageCorruptionError` — a k-way merge that silently merged a
+    short run would produce a *wrong sorted result with no error*.
+    """
+
+    def _spilled_run(self, tmp_path):
+        rows = [(i % 7, i) for i in range(60)]
+        stats = SortStats()
+        ordered = external_sort(rows, [0, 1], max_rows_in_memory=20, stats=stats)
+        first = next(ordered)  # forces the spill + the start of the merge
+        assert first == min(rows, key=lambda r: (sort_key_for(r[0]), sort_key_for(r[1])))
+        blob = open(stats.run_files[0], "rb").read()
+        assert list(ordered)  # exhaust: the iterator removes its run files
+        path = tmp_path / "run.jsonl"
+        path.write_bytes(blob)
+        return str(path), blob
+
+    def test_intact_run_replays(self, tmp_path):
+        from repro.storage.external_sort import _read_run
+
+        path, _blob = self._spilled_run(tmp_path)
+        assert len(list(_read_run(path))) == 20
+
+    def test_truncation_at_every_byte_boundary(self, tmp_path):
+        from repro.storage.external_sort import _read_run
+
+        path, blob = self._spilled_run(tmp_path)
+        for cut in range(len(blob)):
+            with open(path, "wb") as handle:
+                handle.write(blob[:cut])
+            with pytest.raises(StorageCorruptionError):
+                list(_read_run(path))
+
+    def test_bit_flip_at_every_offset(self, tmp_path):
+        from repro.storage.external_sort import _read_run
+
+        path, blob = self._spilled_run(tmp_path)
+        for position in range(len(blob)):
+            flipped = bytes([blob[position] ^ 0xFF])
+            with open(path, "wb") as handle:
+                handle.write(blob[:position] + flipped + blob[position + 1 :])
+            with pytest.raises(StorageCorruptionError):
+                list(_read_run(path))
 
 
 class TestSegmentRoundTrip:

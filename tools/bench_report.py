@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Consolidated benchmark reports: run an SF 0.001 suite, emit one JSON.
 
-Four suites, each pinned to scale factor 0.001 with one round per benchmark
+Five suites, each pinned to scale factor 0.001 with one round per benchmark
 (the asserted quantities are deterministic step counts, not timings):
 
 * ``core`` (default) — the refinement-core, shared-lineage, and top-k
@@ -26,6 +26,12 @@ Four suites, each pinned to scale factor 0.001 with one round per benchmark
   (asserted on every run), per-lane wall times are tracked, and the round
   planner's frontier batching is pinned (fewer propagation passes at
   width 4, same logical steps).
+* ``robustness`` — the deadline-degradation benchmarks
+  (``benchmarks/bench_robustness.py``), consolidated into
+  ``BENCH_robustness.json``: a generous deadline decides the brand top-10
+  bit-identically to the no-deadline run (zero-overhead contract, overhead
+  ratio tracked), and an already-expired deadline degrades to sound
+  monotone brackets that contain every fully-refined marginal.
 
 Each report carries the per-benchmark median wall times and every
 ``extra_info`` counter, plus a ``summary`` with the headline numbers the
@@ -33,7 +39,7 @@ perf trajectory tracks.  CI uploads both files as artifacts on every push
 (``smoke-benchmark`` job), seeding a comparable series of step counts and
 wall times across commits.  Run locally from the repository root:
 
-    python tools/bench_report.py [--suite core|streaming|service|lanes] [output.json]
+    python tools/bench_report.py [--suite core|streaming|service|lanes|robustness] [output.json]
 
 The report fails loudly: a missing raw-result file, a benchmark that did
 not run, or an ``extra_info`` counter that a benchmark stopped recording
@@ -280,6 +286,34 @@ def consolidate_lanes(raw_json: Path) -> dict:
     return {"summary": summary, "benchmarks": benchmarks}
 
 
+def consolidate_robustness(raw_json: Path) -> dict:
+    raw, benchmarks, extra = collect(raw_json)
+    generous = "test_generous_deadline_is_free_and_bit_identical"
+    expired = "test_expired_deadline_degrades_inside_the_monotone_envelope"
+    summary = {
+        "workload": "unsafe TPC-H brand top-10 under wall-clock deadlines, SF 0.001",
+        "refine_steps": extra(generous, "refine_steps"),
+        "generous_deadline": {
+            "seconds_no_deadline": extra(generous, "seconds_no_deadline"),
+            "seconds_generous_deadline": extra(generous, "seconds_generous_deadline"),
+            "overhead_ratio": extra(generous, "overhead_ratio"),
+        },
+        "expired_deadline": {
+            "answers_bracketed": extra(expired, "answers"),
+            "full_refine_steps": extra(expired, "full_refine_steps"),
+            "degraded_refine_steps": extra(expired, "degraded_refine_steps"),
+        },
+        # The contracts the benchmarks assert unconditionally: a generous
+        # deadline is bit-identical to none, and an expired deadline's
+        # brackets contain every refined marginal.  Reaching this summary
+        # means both gates held.
+        "generous_deadline_bit_identical": True,
+        "expired_deadline_envelope_sound": True,
+    }
+    wall_clock_summary(summary, raw, benchmarks)
+    return {"summary": summary, "benchmarks": benchmarks}
+
+
 def print_core(summary: dict, output: Path) -> None:
     core = summary["refinement_core"]
     steps = summary["topk_decision_steps"]
@@ -321,6 +355,17 @@ def print_lanes(summary: dict, output: Path) -> None:
     )
 
 
+def print_robustness(summary: dict, output: Path) -> None:
+    degradation = summary["expired_deadline"]
+    print(
+        f"bench report OK: generous deadline bit-identical at "
+        f"{summary['refine_steps']} steps "
+        f"(overhead {summary['generous_deadline']['overhead_ratio']:.2f}x), "
+        f"expired deadline bracketed {degradation['answers_bracketed']} "
+        f"answer(s) after {degradation['degraded_refine_steps']} steps -> {output}"
+    )
+
+
 SUITES = {
     "core": {
         "benchmarks": [
@@ -349,6 +394,12 @@ SUITES = {
         "output": "BENCH_lanes.json",
         "consolidate": consolidate_lanes,
         "print": print_lanes,
+    },
+    "robustness": {
+        "benchmarks": ["benchmarks/bench_robustness.py"],
+        "output": "BENCH_robustness.json",
+        "consolidate": consolidate_robustness,
+        "print": print_robustness,
     },
 }
 
